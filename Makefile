@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction. See docs/reproduce.md.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full reproduce reproduce-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_BENCH_CONFIG=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	$(PYTHON) -m repro.harness.run_all
+
+reproduce-full:
+	$(PYTHON) -m repro.harness.run_all --full
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/linearizability_demo.py
+	$(PYTHON) examples/road_network_closures.py
+	$(PYTHON) examples/churn_pipeline.py
+	$(PYTHON) examples/social_network_monitor.py
+	$(PYTHON) examples/streaming_service.py
+
+clean:
+	rm -rf .pytest_cache build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

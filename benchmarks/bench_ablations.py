@@ -1,0 +1,309 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Group height (the paper's -opt flag)**: shallower groups trade
+  approximation error for update speed — the reason the paper runs with
+  ``-opt 20`` and its deletion errors can exceed 2.8.
+* **Path compression in check_DAG**: the read-side optimization of §5.2;
+  without it, repeated reads of deep dependency chains re-traverse every hop.
+* **Marking cost decomposition**: what the CPLDS update overhead (Fig 5's
+  CPLDS-vs-NonSync gap) is actually spent on.
+"""
+
+import pytest
+
+from repro.core import CPLDS, NonSyncKCore
+from repro.core.marking import DescriptorTable
+from repro.exact import core_decomposition
+from repro.graph import datasets as ds
+from repro.harness import experiments as E
+from repro.harness.report import format_table
+from repro.lds import LDSParams
+from repro.lds.coreness import approximation_factor
+
+
+def test_ablation_group_height(benchmark, config, emit):
+    """Error vs update-work tradeoff across the -opt sweep."""
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+
+    def sweep():
+        rows = []
+        for height in (5, 10, 20, 40, None):
+            params = LDSParams(n, levels_per_group=height)
+            impl = CPLDS(n, params=params)
+            moves = 0
+            for i in range(0, len(edges), config.batch_size):
+                impl.insert_batch(edges[i : i + config.batch_size])
+                moves += impl.plds.last_batch_moves
+            exact = core_decomposition(impl.graph)
+            worst = max(
+                (
+                    approximation_factor(impl.read(v), int(exact[v]))
+                    for v in range(n)
+                    if exact[v] >= 1
+                ),
+                default=1.0,
+            )
+            rows.append(
+                (
+                    "theory" if height is None else height,
+                    params.num_levels,
+                    moves,
+                    worst,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"Ablation: group height (-opt) on {name}",
+        format_table(["levels/group", "K", "total moves", "max error"], rows),
+    )
+    # Shallower groups => fewer moves; error bounded by 2.8 at every height
+    # for insertions (the theory bound is height-independent).
+    moves = [r[2] for r in rows]
+    assert moves == sorted(moves), "moves should increase with group height"
+    for r in rows:
+        assert r[3] <= 2.81
+
+
+def test_ablation_threaded_decision_rounds(benchmark, config, emit):
+    """Sequential vs thread-pool executor on the read-only decision rounds.
+
+    An honest negative result under the GIL: the threaded executor cannot
+    speed Python bytecode up, and the chunking overhead shows.  This is
+    precisely the measurement motivating the DESIGN.md substitution (the
+    paper's 30-core scaling is reproduced in the virtual-time machine, not
+    on the wall clock).
+    """
+    import time
+
+    from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
+
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+    edges = edges[:6000]
+
+    def measure():
+        out = []
+        for label, make_ex in (
+            ("sequential", SequentialExecutor),
+            ("2 threads", lambda: ThreadedExecutor(2)),
+            ("4 threads", lambda: ThreadedExecutor(4)),
+        ):
+            ex = make_ex()
+            impl = CPLDS(n, params=LDSParams(n, levels_per_group=20), executor=ex)
+            t0 = time.perf_counter()
+            for i in range(0, len(edges), config.batch_size):
+                impl.insert_batch(edges[i : i + config.batch_size])
+            elapsed = time.perf_counter() - t0
+            out.append((label, elapsed, ex.stats.rounds, ex.stats.items))
+            if hasattr(ex, "shutdown"):
+                ex.shutdown()
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"Ablation: executor substrate on {name} (GIL negative result)",
+        format_table(["executor", "total insert (s)", "rounds", "items"], rows),
+    )
+    # Same logical work regardless of executor.
+    assert len({(r[2], r[3]) for r in rows}) == 1
+
+
+def test_ablation_path_compression(benchmark, emit):
+    """check_DAG with vs without compression on a deep descriptor chain."""
+    depth = 200
+
+    class NoCompressTable(DescriptorTable):
+        __slots__ = ()
+
+        @staticmethod
+        def _compress(trail, target):
+            pass
+
+    def build(compress: bool) -> tuple[DescriptorTable, object]:
+        table = DescriptorTable(depth) if compress else NoCompressTable(depth)
+        table.mark(0, old_level=0, related=[], batch=1)
+        for v in range(1, depth):
+            table.mark(v, old_level=0, related=[], batch=1)
+            # Build an explicit chain v -> v-1 (bypassing the normal merge,
+            # which would collapse it immediately).
+            table.slots[v].parent = v - 1
+        return table, table.slots[depth - 1]
+
+    table_c, leaf_c = build(compress=True)
+    table_n, leaf_n = build(compress=False)
+
+    import timeit
+
+    # First read pays the full traversal either way; subsequent reads only
+    # benefit under compression.
+    t_compressed = timeit.timeit(lambda: table_c.check_dag(leaf_c), number=2000)
+    t_plain = timeit.timeit(lambda: table_n.check_dag(leaf_n), number=2000)
+    emit(
+        "Ablation: read-side path compression",
+        format_table(
+            ["variant", "2000 reads of a depth-200 chain (s)"],
+            [("with compression", t_compressed), ("without", t_plain)],
+        ),
+    )
+    assert t_compressed < t_plain, "compression should pay for itself"
+
+    def kernel():
+        table_c.check_dag(leaf_c)
+
+    benchmark(kernel)
+
+
+def test_ablation_sim_cost_sensitivity(benchmark, config, emit):
+    """Fig 7 robustness: the modeled shapes hold across cost-model choices.
+
+    The virtual-time machine's absolute numbers depend on the tick costs;
+    the *claims* (NonSync ≥ CPLDS read throughput by a small factor, write
+    scaling with cores) must not.  Sweep the descriptor-check cost across
+    an order of magnitude and check the invariants at each point.
+    """
+    from repro.runtime.sim import SimSession
+    from repro.runtime.simcost import CostModel
+    from repro.workloads import BatchStream
+
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+    edges = edges[:4000]
+
+    def stream():
+        return BatchStream.insert_then_delete(name, n, edges, 800)
+
+    def sweep():
+        rows = []
+        for read_dag in (0.2, 1.0, 2.0):
+            cost = CostModel(read_dag=read_dag)
+            cp = SimSession(
+                CPLDS(n, params=LDSParams(n, levels_per_group=20)),
+                "cplds", num_readers=8, cost=cost,
+            ).run(stream())
+            nsn = SimSession(
+                NonSyncKCore(n, params=LDSParams(n, levels_per_group=20)),
+                "nonsync", num_readers=8, cost=cost,
+            ).run(stream())
+            ratio = nsn.read_throughput() / cp.read_throughput()
+            rows.append(
+                (read_dag, round(cp.read_throughput(), 3),
+                 round(nsn.read_throughput(), 3), round(ratio, 3))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation: Fig 7 cost-model sensitivity (descriptor-check cost)",
+        format_table(
+            ["read_dag cost", "CPLDS rtput", "NonSync rtput", "ratio"], rows
+        ),
+    )
+    for read_dag, cp_t, ns_t, ratio in rows:
+        assert ns_t >= cp_t, "NonSync read throughput fell below CPLDS"
+        # ratio = (read_base + read_dag) / read_base up to per-batch
+        # flooring of reads-per-interval.
+        assert ratio <= (1.0 + read_dag) * 1.05, (
+            "throughput gap exceeded the modeled cost ratio"
+        )
+    ratios = [r[3] for r in rows]
+    assert ratios == sorted(ratios), "gap should grow with the DAG cost"
+
+
+def test_ablation_exact_vs_approximate(benchmark, config, emit):
+    """Exact traversal-based maintenance vs the approximate batch structure.
+
+    The related-work motivation for approximate maintenance: the exact
+    traversal algorithm pays per-edge subcore searches (which blow up on
+    graphs with large same-coreness regions), while the PLDS amortises the
+    whole batch over one level sweep and gives up only a (2+ε) factor.
+    """
+    import time
+
+    from repro.exact import DynamicExactKCore
+
+    # One dataset per core-depth regime: exact maintenance wins while
+    # subcores stay small, and loses increasingly as cores deepen.
+    REGIMES = [("dblp", None), ("brain", None), ("lj", 9000)]
+
+    def measure():
+        out = []
+        for name, cap in REGIMES:
+            n, edges = ds.DATASETS[name].build_edges()
+            if cap is not None:
+                edges = edges[:cap]
+            exact = DynamicExactKCore(n)
+            t0 = time.perf_counter()
+            exact.insert_batch(edges)
+            t_exact = time.perf_counter() - t0
+            approx = CPLDS(n, params=LDSParams(n, levels_per_group=20))
+            t0 = time.perf_counter()
+            for i in range(0, len(edges), config.batch_size):
+                approx.insert_batch(edges[i : i + config.batch_size])
+            t_approx = time.perf_counter() - t0
+            worst = 1.0
+            cores = exact.corenesses()
+            for v in range(n):
+                if cores[v] >= 1:
+                    worst = max(
+                        worst,
+                        approximation_factor(approx.read(v), int(cores[v])),
+                    )
+            out.append(
+                (name, len(edges), t_exact, t_approx, t_exact / t_approx, worst)
+            )
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "Ablation: exact (traversal) vs approximate (CPLDS) insertion cost",
+        format_table(
+            [
+                "dataset", "edges", "exact (s)", "approx (s)",
+                "exact/approx", "worst CPLDS error",
+            ],
+            rows,
+        ),
+    )
+    ratios = {r[0]: r[4] for r in rows}
+    errors = [r[5] for r in rows]
+    # The crossover: approximate maintenance pulls ahead as cores deepen.
+    assert ratios["brain"] > ratios["dblp"]
+    for err in errors:
+        assert err <= 2.81
+
+
+def test_ablation_marking_overhead(benchmark, config, emit):
+    """Decompose the CPLDS-vs-NonSync update gap (Fig 5's overhead)."""
+    import time
+
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+
+    def measure():
+        out = []
+        for kind in ("nonsync", "cplds"):
+            impl = (
+                NonSyncKCore(n, params=LDSParams(n, levels_per_group=20))
+                if kind == "nonsync"
+                else CPLDS(n, params=LDSParams(n, levels_per_group=20))
+            )
+            t0 = time.perf_counter()
+            for i in range(0, len(edges), config.batch_size):
+                impl.insert_batch(edges[i : i + config.batch_size])
+            elapsed = time.perf_counter() - t0
+            marked = getattr(impl, "last_batch_marked", 0)
+            out.append((kind, elapsed, marked))
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"Ablation: marking overhead on {name}",
+        format_table(["impl", "total insert time (s)", "marked (last batch)"], rows),
+    )
+    times = {r[0]: r[1] for r in rows}
+    overhead = times["cplds"] / times["nonsync"]
+    print(f"\nCPLDS marking overhead: {overhead:.2f}x (paper: <= 1.48x in C++)")
+    assert overhead < 4.0

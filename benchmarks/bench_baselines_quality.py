@@ -1,0 +1,82 @@
+"""Baseline quality/cost comparison: every coreness computation in the repo.
+
+One table putting the whole algorithmic cast side by side on the same graph:
+
+* exact bucket peeling (static, the ground truth),
+* h-index iteration (static, exact, local/parallelisable),
+* exact dynamic traversal (incremental),
+* the CPLDS (2+ε)-approximate dynamic structure (batched, concurrent reads).
+
+Not a paper figure — it is the sanity table a reviewer asks for: how much
+accuracy does the approximation give up, and what does each paradigm cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import CPLDS
+from repro.exact import DynamicExactKCore, core_decomposition, hindex_coreness
+from repro.graph import datasets as ds
+from repro.harness import experiments as E
+from repro.harness.report import format_table
+from repro.lds import LDSParams
+from repro.lds.coreness import approximation_factor
+
+
+def test_all_coreness_algorithms(benchmark, config, emit):
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+    edges = edges[:6000]
+
+    def measure():
+        rows = []
+        # Static exact: peeling.
+        from repro.graph import DynamicGraph
+
+        g = DynamicGraph(n, edges)
+        t0 = time.perf_counter()
+        exact = core_decomposition(g)
+        rows.append(("peeling (static exact)", time.perf_counter() - t0, 1.0))
+
+        # Static exact: h-index iteration.
+        t0 = time.perf_counter()
+        hvals = hindex_coreness(g)
+        t_h = time.perf_counter() - t0
+        assert np.array_equal(hvals, exact)
+        rows.append(("h-index (static exact)", t_h, 1.0))
+
+        # Incremental exact.
+        dyn = DynamicExactKCore(n)
+        t0 = time.perf_counter()
+        dyn.insert_batch(edges)
+        rows.append(
+            ("traversal (dynamic exact)", time.perf_counter() - t0, 1.0)
+        )
+
+        # Approximate batched.
+        cp = CPLDS(n, params=LDSParams(n, levels_per_group=20))
+        t0 = time.perf_counter()
+        for i in range(0, len(edges), config.batch_size):
+            cp.insert_batch(edges[i : i + config.batch_size])
+        t_cp = time.perf_counter() - t0
+        worst = max(
+            (
+                approximation_factor(cp.read(v), int(exact[v]))
+                for v in range(n)
+                if exact[v] >= 1
+            ),
+            default=1.0,
+        )
+        rows.append(("CPLDS (dynamic approx)", t_cp, worst))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"Baseline comparison on {name} ({len(edges)} edges)",
+        format_table(["algorithm", "time (s)", "worst error"], rows),
+    )
+    worst = {r[0]: r[2] for r in rows}
+    assert worst["CPLDS (dynamic approx)"] <= 2.81
+    for label, _, err in rows[:3]:
+        assert err == 1.0, f"{label} should be exact"

@@ -1,0 +1,105 @@
+"""Benches for the §9 extension surfaces and skewed-read workloads.
+
+Not figures from the paper — these cover the conclusion's "apply our data
+structure to other graph problems" directions and the TAO-style skewed read
+mix the introduction motivates, so the extension code paths have tracked
+performance too.
+"""
+
+from repro.core import CPLDS
+from repro.extensions import (
+    LowOutDegreeOrientation,
+    VertexUpdatableKCore,
+    densest_subgraph_estimate,
+    peeling_densest,
+)
+from repro.graph import datasets as ds
+from repro.harness import experiments as E
+from repro.harness.report import format_table
+from repro.workloads import ZipfReadGenerator
+
+
+def _loaded_cplds(config):
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+    impl = E.make_impl("cplds", n, config)
+    for i in range(0, len(edges), config.batch_size):
+        impl.insert_batch(edges[i : i + config.batch_size])
+    return impl
+
+
+def test_orientation_query_kernel(benchmark, config, emit):
+    impl = _loaded_cplds(config)
+    orientation = LowOutDegreeOrientation(impl)
+    benchmark(orientation.out_degree, 0)
+    orientation.check()
+    emit(
+        "Extension: low out-degree orientation",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("max out-degree", orientation.max_out_degree()),
+                ("invariant-1 bound at level of v0",
+                 round(orientation.theoretical_out_degree_bound(0), 2)),
+            ],
+        ),
+    )
+
+
+def test_densest_subgraph_estimate(benchmark, config, emit):
+    impl = _loaded_cplds(config)
+    result = benchmark.pedantic(
+        densest_subgraph_estimate, args=(impl,), rounds=3, iterations=1
+    )
+    ref = peeling_densest(impl.graph)
+    emit(
+        "Extension: densest subgraph",
+        format_table(
+            ["method", "density", "|S|"],
+            [
+                ("LDS level-suffix", round(result.density, 3), result.size),
+                ("peeling 2-approx", round(ref.density, 3), ref.size),
+            ],
+        ),
+    )
+    assert result.density >= ref.density / 6.0
+
+
+def test_vertex_batch_updates(benchmark, config):
+    """Throughput of vertex-granularity batches (footnote 1)."""
+    name = config.datasets[0]
+    n, edges = ds.DATASETS[name].build_edges()
+    adj = {v: [] for v in range(n)}
+    for u, v in edges:
+        adj[max(u, v)].append(min(u, v))
+    batch = [(v, adj[v]) for v in range(n)]
+
+    def setup():
+        return (VertexUpdatableKCore(n),), {}
+
+    def run(ku):
+        ku.insert_vertices(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+
+
+def test_zipf_read_mix(benchmark, config, emit):
+    """Skewed (Zipf) reads against a loaded structure — the hot-vertex
+    pattern of the social read path the paper motivates with."""
+    impl = _loaded_cplds(config)
+    gen = ZipfReadGenerator(impl.graph.num_vertices, s=1.2, seed=7)
+    picks = gen.take(2000)
+
+    def read_sweep():
+        for v in picks:
+            impl.read(v)
+
+    benchmark(read_sweep)
+    emit(
+        "Extension: Zipf read mix",
+        format_table(
+            ["quantity", "value"],
+            [("reads per sweep", len(picks)),
+             ("distinct hot vertices", len(set(picks)))],
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Fig 3: read latency (avg / p99 / p99.99) under insertion & deletion batches.
+
+Shape checks (the paper's findings at reproduction scale):
+
+* CPLDS read latency is orders of magnitude below SyncReads (paper: up to
+  4.05e5x on 10^6-edge batches; the factor scales with batch duration);
+* CPLDS stays within a small constant factor of NonSync (paper: <= 3.21x).
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+
+def test_fig3_read_latency(benchmark, config, emit):
+    rows = benchmark.pedantic(E.fig3, args=(config,), rounds=1, iterations=1)
+    emit("Fig 3: read latency by implementation", R.render_fig3(rows))
+
+    by = {(r.dataset, r.impl, r.phase): r.stats for r in rows}
+    checked_sync = checked_nonsync = 0
+    for (dataset, impl, phase), stats in by.items():
+        if impl != "cplds":
+            continue
+        sync = by.get((dataset, "syncreads", phase))
+        if sync is not None:
+            assert sync.mean > 20 * stats.mean, (
+                f"{dataset}/{phase}: SyncReads mean {sync.mean} not ≫ "
+                f"CPLDS mean {stats.mean}"
+            )
+            checked_sync += 1
+        nonsync = by.get((dataset, "nonsync", phase))
+        if nonsync is not None:
+            assert stats.mean <= 12 * nonsync.mean, (
+                f"{dataset}/{phase}: CPLDS read overhead vs NonSync "
+                f"exceeded 12x"
+            )
+            checked_nonsync += 1
+    assert checked_sync >= 1, "no CPLDS-vs-SyncReads pair measured"
+    assert checked_nonsync >= 1, "no CPLDS-vs-NonSync pair measured"
+
+
+def test_cplds_read_kernel(benchmark, config):
+    """Microbenchmark of a single linearizable read on a quiescent CPLDS."""
+    from repro.graph import datasets as ds
+
+    n, edges = ds.DATASETS[config.datasets[0]].build_edges()
+    impl = E.make_impl("cplds", n, config)
+    impl.insert_batch(edges)
+    est = benchmark(impl.read, 0)
+    assert est >= 1.0

@@ -1,0 +1,41 @@
+"""Fig 4: read latency across insertion batch sizes.
+
+Shape checks: SyncReads latency grows with the batch size (reads wait for
+ever-longer batches), while CPLDS and NonSync stay roughly flat — the paper's
+"at least five/seven orders of magnitude" separation grows with batch size.
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+BATCH_SIZES = (500, 1000, 2000, 4000)
+
+
+def test_fig4_latency_vs_batch_size(benchmark, config, emit):
+    cfg = config.with_(datasets=config.datasets[:2])
+    rows = benchmark.pedantic(
+        E.fig4, args=(cfg, BATCH_SIZES), rounds=1, iterations=1
+    )
+    emit("Fig 4: read latency vs insertion batch size", R.render_fig4(rows))
+
+    for dataset in cfg.datasets:
+        sync = {
+            r.batch_size: r.stats.mean
+            for r in rows
+            if r.dataset == dataset and r.impl == "syncreads"
+        }
+        cplds = {
+            r.batch_size: r.stats.mean
+            for r in rows
+            if r.dataset == dataset and r.impl == "cplds"
+        }
+        if len(sync) >= 2:
+            small, large = min(sync), max(sync)
+            assert sync[large] > sync[small], (
+                f"{dataset}: SyncReads latency did not grow with batch size"
+            )
+        if cplds and sync:
+            # At the largest batch size the separation is widest.
+            big = max(sync)
+            if big in cplds:
+                assert sync[big] > 20 * cplds[big]

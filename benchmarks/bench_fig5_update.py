@@ -1,0 +1,51 @@
+"""Fig 5: average and maximum batch update times.
+
+Shape checks: NonSync has the lowest update times (its update path is the
+bare PLDS); the CPLDS pays a bounded marking overhead on top (paper: at most
+1.48x; we allow more slack for Python constant factors and GIL reader
+contention, see EXPERIMENTS.md).
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+
+def test_fig5_update_times(benchmark, config, emit):
+    rows = benchmark.pedantic(E.fig5, args=(config,), rounds=1, iterations=1)
+    emit("Fig 5: batch update time", R.render_fig5(rows))
+
+    by = {(r.dataset, r.impl, r.phase): r for r in rows}
+    checked = 0
+    for (dataset, impl, phase), row in by.items():
+        if impl != "cplds":
+            continue
+        base = by.get((dataset, "nonsync", phase))
+        if base is None:
+            continue
+        assert base.mean <= row.mean * 1.25, (
+            f"{dataset}/{phase}: NonSync updates unexpectedly slower than "
+            "CPLDS (marking overhead cannot be negative)"
+        )
+        assert row.mean <= 4.0 * base.mean, (
+            f"{dataset}/{phase}: CPLDS marking overhead "
+            f"{row.mean / base.mean:.2f}x exceeds the expected band"
+        )
+        checked += 1
+    assert checked >= 1
+
+
+def test_batch_insert_kernel(benchmark, config):
+    """Microbenchmark of one CPLDS insertion batch (fresh structure each
+    round, via pedantic setup)."""
+    from repro.graph import datasets as ds
+
+    n, edges = ds.DATASETS[config.datasets[0]].build_edges()
+    batch = edges[: config.batch_size]
+
+    def setup():
+        return (E.make_impl("cplds", n, config),), {}
+
+    def run(impl):
+        impl.insert_batch(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

@@ -1,0 +1,53 @@
+"""Fig 7: read/write throughput scalability (virtual-time machine).
+
+Shape checks (see DESIGN.md for why this figure runs on the modeled machine
+rather than the GIL-bound wall clock):
+
+* read throughput grows with reader count for CPLDS and NonSync;
+* NonSync read throughput >= CPLDS (paper: up to 2.21x — no DAG traversal);
+* write throughput grows with update cores, saturating at the batch span;
+* NonSync write throughput >= CPLDS (no marking), and SyncReads pays for its
+  synchronous reads in the paper's throughput accounting.
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+
+def test_fig7_scalability(benchmark, config, emit):
+    cfg = config.with_(datasets=config.datasets[:2])
+    rows = benchmark.pedantic(E.fig7, args=(cfg,), rounds=1, iterations=1)
+    emit("Fig 7: throughput scalability (virtual ticks)", R.render_fig7(rows))
+
+    def series(dataset, impl, direction, attr):
+        pts = sorted(
+            (r.count, getattr(r, attr))
+            for r in rows
+            if r.dataset == dataset and r.impl == impl and r.direction == direction
+        )
+        return [v for _, v in pts]
+
+    for dataset in cfg.datasets:
+        # Read-side scaling.
+        for impl in ("cplds", "nonsync"):
+            reads = series(dataset, impl, "readers", "read_throughput")
+            assert reads == sorted(reads), f"{dataset}/{impl}: read tput not monotone"
+            assert reads[-1] > 2 * reads[0]
+        cp = series(dataset, "cplds", "readers", "read_throughput")
+        ns = series(dataset, "nonsync", "readers", "read_throughput")
+        for c, n in zip(cp, ns):
+            assert n >= c, f"{dataset}: NonSync read tput fell below CPLDS"
+            assert n <= 4 * c, f"{dataset}: read tput gap implausibly large"
+
+        # Write-side scaling.
+        for impl in ("cplds", "nonsync"):
+            writes = series(dataset, impl, "writers", "write_throughput")
+            assert writes == sorted(writes)
+            assert writes[-1] > 1.5 * writes[0]
+        cpw = series(dataset, "cplds", "writers", "write_throughput")
+        nsw = series(dataset, "nonsync", "writers", "write_throughput")
+        srw = series(dataset, "syncreads", "writers", "write_throughput")
+        for c, n in zip(cpw, nsw):
+            assert n >= c, f"{dataset}: NonSync write tput fell below CPLDS"
+        for s, n in zip(srw, nsw):
+            assert s <= n, f"{dataset}: SyncReads write tput above NonSync"

@@ -1,0 +1,67 @@
+"""Union-find strategy bench: the ConnectIt design-space slice.
+
+The CPLDS's dependency-DAG merging is a union-find workload (many unions
+during marking, many finds during reads); this bench measures the find
+strategies' pointer-chase work on DAG-shaped workloads so the choice of
+full path compression (what the paper's implementation uses via ConnectIt)
+is justified by data in this repository too.
+"""
+
+import numpy as np
+
+from repro.harness.report import format_table
+from repro.unionfind.variants import FIND_STRATEGIES, VariantUnionFind
+
+
+def dag_workload(n=4096, unions=6000, finds=40000, seed=0):
+    """Union/find mix shaped like a batch's marking phase + reader traffic."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(unions):
+        a, b = rng.integers(0, n, size=2)
+        ops.append(("u", int(a), int(b)))
+    for _ in range(finds):
+        ops.append(("f", int(rng.integers(0, n)), 0))
+    rng.shuffle(ops)
+    return n, ops
+
+
+def run(strategy, n, ops):
+    uf = VariantUnionFind(n, find_strategy=strategy)
+    for kind, a, b in ops:
+        if kind == "u":
+            uf.union(a, b)
+        else:
+            uf.find(a)
+    return uf.pointer_hops
+
+
+def test_find_strategy_work(benchmark, emit):
+    n, ops = dag_workload()
+    rows = []
+    for strategy in FIND_STRATEGIES:
+        hops = run(strategy, n, ops)
+        rows.append((strategy, hops))
+    emit(
+        "Union-find find-strategy pointer-chase work "
+        f"({len(ops)} mixed ops, n={n})",
+        format_table(["strategy", "pointer hops"], rows),
+    )
+    hops = dict(rows)
+    # All write-performing strategies beat the naive one...
+    for strategy in ("compress", "split", "halve"):
+        assert hops[strategy] < hops["naive"]
+    # ...and results agree regardless of strategy (semantic check).
+    reps = {}
+    for strategy in FIND_STRATEGIES:
+        uf = VariantUnionFind(n, find_strategy=strategy)
+        for kind, a, b in ops:
+            if kind == "u":
+                uf.union(a, b)
+        reps[strategy] = [uf.find(x) for x in range(n)]
+    assert len({tuple(v) for v in reps.values()}) == 1
+
+    def kernel():
+        run("compress", n, ops)
+
+    benchmark(kernel)

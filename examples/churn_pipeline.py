@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""End-to-end churn pipeline: mixed batches, derived views, checkpointing.
+
+A production-shaped tour of the library beyond the core read/update path:
+
+1. drive a CPLDS with a *sliding-window churn stream* (edges arrive, live
+   for a few batches, then depart — the steady-state follow/unfollow shape),
+2. after every batch, consume the decomposition through the §9 extension
+   views — the O(α) out-degree orientation and the approximate densest
+   subgraph,
+3. checkpoint the structure mid-stream, restore it, and show the restored
+   replica answers identically and keeps ingesting.
+
+Run:  python examples/churn_pipeline.py
+"""
+
+import os
+import tempfile
+
+from repro.core import CPLDS
+from repro.extensions import LowOutDegreeOrientation, densest_subgraph_estimate
+from repro.graph import generators
+from repro.persist import load_cplds, save_cplds
+from repro.workloads import MixedStreamGenerator
+
+
+def main() -> None:
+    n = 600
+    edges = generators.community_overlay(
+        n, num_communities=3, community_size=25, background_edges=1200, seed=21
+    )
+    stream = MixedStreamGenerator(edges, batch_size=400, window=3, seed=21)
+
+    kcore = CPLDS(n)
+    orientation = LowOutDegreeOrientation(kcore)
+    checkpoint = os.path.join(tempfile.gettempdir(), "repro_churn.npz")
+
+    print(f"{'batch':>5s}  {'+ins':>5s}  {'-del':>5s}  {'edges':>6s}  "
+          f"{'max out-deg':>11s}  {'densest':>8s}")
+    for i, batch in enumerate(stream, start=1):
+        ins, dels = kcore.apply_batch(
+            insertions=batch.insertions, deletions=batch.deletions
+        )
+        dense = densest_subgraph_estimate(kcore)
+        print(
+            f"{i:5d}  {ins:5d}  {dels:5d}  {kcore.graph.num_edges:6d}  "
+            f"{orientation.max_out_degree():11d}  {dense.density:8.2f}"
+        )
+        if i == 3:
+            save_cplds(kcore, checkpoint)
+            print(f"      ... checkpointed to {checkpoint}")
+
+    # Restore the mid-stream checkpoint and verify replica equivalence.
+    replica = load_cplds(checkpoint)
+    print("\nrestored replica: "
+          f"{replica.graph.num_edges} edges at batch {replica.batch_number}")
+    sample = range(0, n, max(1, n // 8))
+    print("replica reads (v: estimate):",
+          {v: replica.read(v) for v in sample})
+    replica.insert_batch(edges[:50])
+    replica.check_invariants()
+    print("replica accepted a fresh batch after restore — pipeline OK")
+    os.unlink(checkpoint)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Why the dependency DAG exists: watch NonSync and the strawman fail.
+
+Reproduces the paper's Section 4 motivation interactively:
+
+1. NonSync reads concurrent with a cascading insertion batch return
+   *intermediate* levels — values that never existed at any batch boundary
+   (the checker's rule A; the unbounded-error problem of §6.3).
+2. The naive per-vertex-descriptor strawman avoids intermediate values but
+   produces *new-old inversions* inside one causal dependency chain (rule C).
+3. The CPLDS, under the same adversarial schedules, produces a history with
+   zero violations.
+
+Run:  python examples/linearizability_demo.py
+"""
+
+from repro.core import CPLDS, NaiveMarkedKCore, NonSyncKCore
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.inject import InjectionProbe, ProbeExecutor, attach_probe
+from repro.verify import LinearizabilityChecker, RecordedKCore
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def show(label: str, violations) -> None:
+    print(f"{label}: {len(violations)} violation(s)")
+    for v in violations[:3]:
+        print(f"   [rule {v.rule}] {v.message}")
+    if len(violations) > 3:
+        print(f"   ... and {len(violations) - 3} more")
+    print()
+
+
+def demo_nonsync() -> None:
+    n = 10
+    impl = NonSyncKCore(n)
+    rec = RecordedKCore(impl)
+
+    def read_everything(_tag):
+        for v in range(n):
+            rec.read(v)
+
+    attach_probe(impl, InjectionProbe(read_everything))
+    rec.insert_batch(clique(n))  # one cascading batch
+    show("NonSync under a cascading batch", LinearizabilityChecker(rec.history).violations())
+
+
+def demo_naive() -> None:
+    n = 8
+    impl = NaiveMarkedKCore(n)
+    rec = RecordedKCore(impl)
+    for e in clique(n)[:13]:
+        rec.insert_batch([e])
+    before = impl.levels()
+
+    def read_chain(_v):
+        for u in range(4):
+            rec.read(u)
+
+    impl.on_unmark_step = read_chain
+    rec.insert_batch([(2, 3)])  # a single edge whose cascade moves 0..3
+    after = impl.levels()
+    changed = [v for v in range(n) if before[v] != after[v]]
+    # One updated edge => one causal DAG over everything that moved.
+    rec.history.batches[-1].dag_of.update({v: changed[0] for v in changed})
+    show(
+        "Naive strawman during its unmark sequence",
+        LinearizabilityChecker(rec.history).violations(),
+    )
+
+
+def demo_cplds() -> None:
+    n = 10
+    impl = CPLDS(n)
+    rec = RecordedKCore(impl)
+
+    def read_everything(_tag):
+        for v in range(n):
+            rec.read(v)
+
+    attach_probe(impl, InjectionProbe(read_everything))
+    # Interleave reads between *individual* unmark steps too — the
+    # root-first unmark ordering is what keeps this safe.
+    impl.plds.executor = ProbeExecutor(
+        SequentialExecutor(), read_everything, per_item=True
+    )
+    rec.insert_batch(clique(n))
+    rec.delete_batch(clique(n)[::2])
+    violations = LinearizabilityChecker(rec.history).violations()
+    show("CPLDS under the same adversarial schedules", violations)
+    assert not violations
+
+
+def main() -> None:
+    demo_nonsync()
+    demo_naive()
+    demo_cplds()
+    print("CPLDS history admits a valid linearization — as Theorem 6.1 promises.")
+
+
+if __name__ == "__main__":
+    main()

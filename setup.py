@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept because this offline environment lacks the ``wheel`` package that modern
+``pip install -e .`` requires; ``python setup.py develop`` installs the same
+editable package without it.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — Parallel k-Core Decomposition with Batched Updates and Asynchronous Reads.
+
+A from-scratch Python reproduction of Liu, Shun & Zablotchi (PPoPP 2024):
+the **CPLDS** — a concurrent/parallel level data structure maintaining a
+(2+ε)-approximate k-core decomposition under *batched* edge updates while
+serving *asynchronous, lock-free, linearizable* per-vertex coreness reads —
+together with every substrate it stands on (dynamic graphs, exact peeling,
+the sequential LDS and batch-parallel PLDS, concurrent union-find), the
+paper's two baselines, a linearizability checker, and the full experiment
+harness regenerating Table 1 and Figures 3–7.
+
+Quick start
+-----------
+>>> from repro import CPLDS
+>>> kcore = CPLDS(num_vertices=100)
+>>> kcore.insert_batch([(0, 1), (1, 2), (0, 2)])
+3
+>>> kcore.read(0)  # linearizable, lock-free, callable from any thread
+1.0
+
+Package map
+-----------
+``repro.core``        the paper's contribution (CPLDS, descriptors, baselines)
+``repro.lds``         level data structures (LDS, PLDS, parameters)
+``repro.graph``       dynamic graph, generators, Table 1 dataset stand-ins
+``repro.exact``       exact k-core peeling (ground truth)
+``repro.unionfind``   sequential + concurrent disjoint sets
+``repro.runtime``     executors, real-thread sessions, virtual-time machine
+``repro.verify``      history recording, linearizability checking, error metrics
+``repro.workloads``   batch streams and read generators
+``repro.harness``     experiment drivers (Table 1, Figs 3–7) and reporting
+``repro.extensions``  §9 applications: orientation, densest subgraph, vertex updates
+"""
+
+from repro.core import CPLDS, NonSyncKCore, SyncReadsKCore
+from repro.exact import core_decomposition, degeneracy
+from repro.graph import DynamicGraph
+from repro.lds import LDS, PLDS, LDSParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPLDS",
+    "NonSyncKCore",
+    "SyncReadsKCore",
+    "LDS",
+    "PLDS",
+    "LDSParams",
+    "DynamicGraph",
+    "core_decomposition",
+    "degeneracy",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The paper's contribution: the CPLDS and its read/update protocol.
+
+* :mod:`repro.core.descriptor` — operation descriptors (Algorithm 1).
+* :mod:`repro.core.marking` — mark / unmark / check_DAG (Algorithms 2 & 3),
+  including the dependency-DAG union with path compression.
+* :mod:`repro.core.cplds` — the CPLDS itself: batched updates with marking
+  hooks and the sandwiched lock-free read (Algorithm 4).
+* :mod:`repro.core.naive` — the strawman from Section 4 (descriptors without
+  DAG tracking), kept because it exhibits the new-old inversions the DAG rule
+  exists to prevent, which the linearizability tests demonstrate.
+* :mod:`repro.core.baselines` — SyncReads and NonSync, the two baselines of
+  the experimental evaluation.
+"""
+
+from repro.core.cplds import CPLDS, ReadResult
+from repro.core.descriptor import Descriptor, I_AM_ROOT, UNMARKED
+from repro.core.baselines import NonSyncKCore, SyncReadsKCore
+from repro.core.naive import NaiveMarkedKCore
+
+__all__ = [
+    "CPLDS",
+    "ReadResult",
+    "Descriptor",
+    "I_AM_ROOT",
+    "UNMARKED",
+    "NonSyncKCore",
+    "SyncReadsKCore",
+    "NaiveMarkedKCore",
+]

@@ -1,0 +1,359 @@
+"""CPLDS: the concurrent parallel level data structure (the paper's §4–§5).
+
+The CPLDS composes:
+
+* a :class:`~repro.lds.plds.PLDS` that executes batches of edge updates, and
+* a :class:`~repro.core.marking.DescriptorTable` holding the per-vertex
+  operation descriptors and dependency DAGs,
+
+wired together through the PLDS update hooks: immediately *before* a vertex's
+live level changes, the vertex is marked (first move in the batch) or its DAG
+is merged with its new triggers' DAGs (later moves), so that a concurrent
+reader always finds either the pre-batch level in a descriptor or a stable
+live level.
+
+Reads (Algorithm 4) are **lock-free**: the only blocking-free retry loop
+re-runs when the batch number advanced or the live level changed between the
+two "sandwich" collects — both of which certify that an update made progress,
+which is the paper's lock-freedom argument (§6.2).  Updates run on the
+calling (update) thread and always terminate — they are *live* in the
+paper's terminology.
+
+Thread-safety contract: any number of reader threads may call :meth:`read` /
+:meth:`read_verbose` concurrently with one in-flight batch (single-writer,
+multi-reader), matching the process model of §2 as instantiated in this
+reproduction (see DESIGN.md substitution table for the multi-writer case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.descriptor import UNMARKED
+from repro.core.marking import DescriptorTable
+from repro.errors import ReproError
+from repro.lds.params import LDSParams
+from repro.lds.plds import PLDS, Phase, UpdateHooks
+from repro.runtime.executor import Executor
+from repro.types import Edge, Vertex
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one linearizable read (telemetry-rich variant)."""
+
+    #: The coreness estimate returned to the caller.
+    estimate: float
+    #: The level the estimate was computed from.
+    level: int
+    #: True if the level came from a descriptor (``old_level``); False if it
+    #: is the live level.
+    from_descriptor: bool
+    #: How many times the sandwich forced a retry before succeeding.
+    retries: int
+    #: The batch number the read linearized in.
+    batch: int
+
+
+class _MarkingHooks(UpdateHooks):
+    """PLDS hooks implementing the paper's marking discipline."""
+
+    __slots__ = ("cp", "_phase")
+
+    def __init__(self, cp: "CPLDS") -> None:
+        self.cp = cp
+        self._phase: Phase = "insert"
+
+    def batch_begin(self, kind: Phase, edges: Sequence[Edge]) -> None:
+        cp = self.cp
+        self._phase = kind
+        # Incremented at the start of every batch (Algorithm 1).  A plain
+        # int increment on the update thread; reader loads are GIL-atomic.
+        cp.batch_number += 1
+        partners: dict[Vertex, list[Vertex]] = {}
+        for u, v in edges:
+            partners.setdefault(u, []).append(v)
+            partners.setdefault(v, []).append(u)
+        cp._batch_partners = partners
+
+    def before_move(self, v: Vertex, old: int, new: int, phase: Phase) -> None:
+        cp = self.cp
+        table = cp.descriptors
+        # Inline trigger scan (hot path: once per vertex move).  Triggers:
+        # marked graph neighbours at >= ℓ(v) for insertions, or strictly
+        # below ℓ(v) − 1 for deletions; plus marked batch partners.
+        slots = table.slots
+        level = cp.plds.state.level
+        lv = level[v]
+        related: list[Vertex] = []
+        if phase == "insert":
+            for w in cp.plds.graph.neighbors_unsafe(v):
+                if level[w] >= lv and slots[w] is not None:
+                    related.append(w)
+        else:
+            bound = lv - 1
+            for w in cp.plds.graph.neighbors_unsafe(v):
+                if level[w] < bound and slots[w] is not None:
+                    related.append(w)
+        partners = cp._batch_partners.get(v)
+        if partners:
+            for w in partners:
+                if slots[w] is not None:
+                    related.append(w)
+        if slots[v] is None:
+            # First move this batch: `old` is the pre-batch level.
+            table.mark(v, old_level=old, related=related, batch=cp.batch_number)
+        elif related:
+            # Later move triggered by other DAGs: merge them (DESIGN.md,
+            # "Marking on later moves").
+            table.add_dependencies(v, related)
+
+    def batch_end(self) -> None:
+        cp = self.cp
+        dags = cp.descriptors.dag_members()
+        cp.last_batch_marked = len(cp.descriptors.marked_vertices)
+        cp.last_batch_dags = len(dags)
+        cp.last_batch_dag_map = {
+            v: root for root, members in dags.items() for v in members
+        }
+        cp.descriptors.unmark_all(cp.plds.executor.run_round)
+        cp._batch_partners = {}
+
+
+class CPLDS:
+    """Approximate k-core with batched updates and asynchronous reads.
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the fixed vertex universe.
+    params:
+        :class:`LDSParams`; defaults to the paper's (δ=0.2, λ=9).
+    executor:
+        Round executor for the update phases (see
+        :mod:`repro.runtime.executor`).
+    max_read_retries:
+        Safety bound on the read retry loop; exceeding it raises
+        :class:`~repro.errors.ReproError` (a genuine execution can only hit
+        it if updates are streaming in faster than a read can double-collect,
+        which the paper's model excludes by making update processes
+        synchronous).
+
+    Examples
+    --------
+    >>> cp = CPLDS(6)
+    >>> cp.insert_batch([(0, 1), (1, 2), (0, 2)])
+    3
+    >>> cp.read(0) >= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        params: LDSParams | None = None,
+        executor: Executor | None = None,
+        max_read_retries: int = 10_000_000,
+    ) -> None:
+        hooks = _MarkingHooks(self)
+        self.plds = PLDS(num_vertices, params=params, executor=executor, hooks=hooks)
+        self.params = self.plds.params
+        self.descriptors = DescriptorTable(num_vertices)
+        self.batch_number = 0
+        self.max_read_retries = max_read_retries
+        self._batch_partners: dict[Vertex, list[Vertex]] = {}
+        #: Telemetry from the most recent batch.
+        self.last_batch_marked = 0
+        self.last_batch_dags = 0
+        #: Dependency-DAG partition of the most recent batch
+        #: (vertex -> DAG root), captured just before unmarking.
+        self.last_batch_dag_map: dict[Vertex, Vertex] = {}
+
+    # ------------------------------------------------------------------
+    # Updates (update processes)
+    # ------------------------------------------------------------------
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        """Apply an insertion batch; returns the number of new edges."""
+        return self.plds.batch_insert(edges)
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        """Apply a deletion batch; returns the number of removed edges."""
+        return self.plds.batch_delete(edges)
+
+    def apply_batch(
+        self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
+    ) -> tuple[int, int]:
+        """Mixed batch, pre-processed into insertion + deletion sub-batches."""
+        return self.plds.apply_batch(insertions, deletions)
+
+    # ------------------------------------------------------------------
+    # Reads (read processes — lock-free, callable from any thread)
+    # ------------------------------------------------------------------
+    def read(self, v: Vertex) -> float:
+        """Linearizable coreness estimate of ``v`` (Algorithm 4).
+
+        The hot path: identical protocol to :meth:`read_verbose` but with no
+        per-read allocation (no telemetry record) — a table lookup away from
+        NonSync's cost once the sandwich passes.
+        """
+        level = self.plds.state.level
+        slots = self.descriptors.slots
+        estimates = self.params.estimate_table
+        check_dag = self.descriptors.check_dag
+        retries = 0
+        while True:
+            b1 = self.batch_number
+            l1 = level[v]
+            desc = slots[v]
+            marked = check_dag(desc)
+            l2 = level[v]
+            b2 = self.batch_number
+            if b1 == b2:
+                if marked:
+                    return estimates[desc.old_level]  # type: ignore[union-attr]
+                if l1 == l2:
+                    return estimates[l1]
+            retries += 1
+            if retries > self.max_read_retries:
+                raise ReproError(
+                    f"read({v}) exceeded {self.max_read_retries} retries; "
+                    "the update stream is outpacing the reader"
+                )
+
+    def read_level(self, v: Vertex) -> int:
+        """Linearizable *level* of ``v`` (the raw quantity behind the
+        estimate; used by the verification harness)."""
+        return self.read_verbose(v).level
+
+    def read_verbose(self, v: Vertex) -> ReadResult:
+        """Algorithm 4 with full telemetry.
+
+        The double sandwich: (batch number, live level) collected before and
+        after the descriptor check must both match, else retry.
+        """
+        level = self.plds.state.level  # the live-level array
+        slots = self.descriptors.slots
+        params = self.params
+        retries = 0
+        while True:
+            b1 = self.batch_number
+            l1 = level[v]
+            desc = slots[v]
+            marked = self.descriptors.check_dag(desc)
+            l2 = level[v]
+            b2 = self.batch_number
+            if b1 == b2:
+                if marked:
+                    old = desc.old_level  # type: ignore[union-attr]
+                    return ReadResult(
+                        estimate=params.coreness_estimate(old),
+                        level=old,
+                        from_descriptor=True,
+                        retries=retries,
+                        batch=b1,
+                    )
+                if l1 == l2:
+                    return ReadResult(
+                        estimate=params.coreness_estimate(l1),
+                        level=l1,
+                        from_descriptor=False,
+                        retries=retries,
+                        batch=b1,
+                    )
+            retries += 1
+            if retries > self.max_read_retries:
+                raise ReproError(
+                    f"read({v}) exceeded {self.max_read_retries} retries; "
+                    "the update stream is outpacing the reader"
+                )
+
+    # ------------------------------------------------------------------
+    # Marking support
+    # ------------------------------------------------------------------
+    def _related_marked(self, v: Vertex, phase: Phase) -> list[Vertex]:
+        """Triggers ∪ marked batch neighbours of ``v`` (Algorithm 2, line 4).
+
+        Insertions: marked graph neighbours at ``v``'s level or higher.
+        Deletions: marked graph neighbours strictly below ``ℓ(v) − 1``.
+        Plus, in both phases, every marked endpoint of a batch edge incident
+        to ``v`` (which is what keeps updated edges inside a single DAG,
+        Lemma 6.3).
+        """
+        state = self.plds.state
+        table = self.descriptors
+        lv = state.level[v]
+        related: list[Vertex] = []
+        if phase == "insert":
+            for w in self.plds.graph.neighbors_unsafe(v):
+                if state.level[w] >= lv and table.is_marked(w):
+                    related.append(w)
+        else:
+            for w in self.plds.graph.neighbors_unsafe(v):
+                if state.level[w] < lv - 1 and table.is_marked(w):
+                    related.append(w)
+        for w in self._batch_partners.get(v, ()):
+            if table.is_marked(w):
+                related.append(w)
+        return related
+
+    # ------------------------------------------------------------------
+    # Quiescent conveniences
+    # ------------------------------------------------------------------
+    def coreness_estimate(self, v: Vertex) -> float:
+        """Quiescent estimate straight from the live level (no protocol)."""
+        return self.plds.coreness_estimate(v)
+
+    def levels(self) -> list[int]:
+        """Snapshot of all live levels (quiescent use)."""
+        return self.plds.levels()
+
+    @property
+    def graph(self):
+        """The underlying dynamic graph."""
+        return self.plds.graph
+
+    def rebuild(self) -> None:
+        """Recover a consistent quiescent state from the graph alone.
+
+        The paper's model has no process failures, but an update *batch* can
+        die mid-flight for mundane reasons (a hook raised, the process was
+        interrupted) leaving levels, counters and descriptors mutually
+        inconsistent.  ``rebuild`` discards all derived state and recomputes
+        it from the surviving edge set: descriptors are cleared, every level
+        reset, and the whole graph re-run through one insertion batch.  Reads
+        are **not** safe concurrently with a rebuild (the structure was
+        already broken); it counts as one batch for the sandwich, so any
+        straggling reader retries out.
+        """
+        graph = self.plds.graph
+        edges = list(graph.edges())
+        n = graph.num_vertices
+        # Clear descriptors (any leftover marks belong to the dead batch).
+        self.descriptors.slots[:] = [None] * n
+        self.descriptors.marked_vertices.clear()
+        self._batch_partners = {}
+        # Reset the graph + level state and replay.
+        for v in range(n):
+            graph.neighbors_unsafe(v).clear()
+        graph._m = 0  # type: ignore[attr-defined]
+        state = self.plds.state
+        state.level[:] = [0] * n
+        state.up_deg[:] = [0] * n
+        for v in range(n):
+            state.down[v] = {}
+        self.insert_batch(edges)
+
+    def check_invariants(self) -> None:
+        """Assert LDS invariants and a fully unmarked descriptor table."""
+        self.plds.check_invariants()
+        if self.descriptors.marked_vertices:
+            raise AssertionError(
+                f"{len(self.descriptors.marked_vertices)} descriptors leaked "
+                "past batch end"
+            )
+        leaked = [
+            v for v, d in enumerate(self.descriptors.slots) if d is not UNMARKED
+        ]
+        if leaked:
+            raise AssertionError(f"marked slots leaked past batch end: {leaked[:10]}")

@@ -1,0 +1,72 @@
+"""Operation descriptors (Algorithm 1 of the paper).
+
+A vertex that is in the process of changing levels during the current batch
+is *marked*: its slot in the global descriptor array holds a
+:class:`Descriptor` recording the vertex's pre-batch level (``old_level``)
+and its parent in the dependency DAG (``parent``, a vertex index, or
+:data:`I_AM_ROOT`).  An unmarked vertex's slot holds :data:`UNMARKED`.
+
+Descriptor objects are created fresh for every (vertex, batch) pair and never
+recycled: a slow reader that still holds a previous batch's descriptor can
+only ever mutate (via path compression) or inspect that stale object, never a
+current one — this is what makes read-side path compression safe across batch
+boundaries (see the discussion in ``repro/core/marking.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Sentinel parent value for DAG roots (paper: ``I_AM_ROOT``).
+I_AM_ROOT: int = -1
+
+#: Sentinel slot value for unmarked vertices (paper: ``UNMARKED``).  ``None``
+#: is used so that slot checks are identity tests, the cheapest atomic read.
+UNMARKED: Optional["Descriptor"] = None
+
+
+class Descriptor:
+    """One vertex's in-flight level-change record.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex this descriptor belongs to (handy for diagnostics and for
+        deterministic root selection).
+    old_level:
+        The vertex's level *before* the current batch — what concurrent
+        readers must return while the vertex's DAG is still marked.
+    parent:
+        The vertex index of this node's parent in the dependency DAG, or
+        :data:`I_AM_ROOT`.  Mutated by DAG unions (update side) and path
+        compression (both sides); single-word reads/writes are GIL-atomic.
+    batch:
+        The batch number this descriptor was created in (diagnostics only;
+        the read protocol never needs it thanks to the batch-number
+        sandwich).
+    """
+
+    __slots__ = ("vertex", "old_level", "parent", "batch")
+
+    def __init__(
+        self,
+        vertex: int,
+        old_level: int,
+        parent: int = I_AM_ROOT,
+        batch: int = 0,
+    ) -> None:
+        self.vertex = vertex
+        self.old_level = old_level
+        self.parent = parent
+        self.batch = batch
+
+    def is_root(self) -> bool:
+        """Whether this descriptor currently heads its dependency DAG."""
+        return self.parent == I_AM_ROOT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parent = "ROOT" if self.parent == I_AM_ROOT else self.parent
+        return (
+            f"Descriptor(v={self.vertex}, old_level={self.old_level}, "
+            f"parent={parent}, batch={self.batch})"
+        )

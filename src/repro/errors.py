@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch every library failure with a single ``except`` clause while still
+being able to distinguish the concrete failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the dynamic-graph substrate."""
+
+
+class VertexOutOfRange(GraphError):
+    """A vertex id lies outside ``[0, num_vertices)``."""
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} out of range for a graph with "
+            f"{num_vertices} vertices"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class SelfLoopError(GraphError):
+    """Self-loops are not supported by the k-core algorithms in this library."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"self-loop on vertex {vertex} is not allowed")
+        self.vertex = vertex
+
+
+class EdgeStateError(GraphError):
+    """An edge insertion/deletion conflicts with the current graph state.
+
+    Raised in *strict* mode when inserting an edge that already exists or
+    deleting one that does not.
+    """
+
+
+class LDSError(ReproError):
+    """Base class for level-data-structure errors."""
+
+
+class InvariantViolation(LDSError):
+    """An LDS degree invariant does not hold when it was required to.
+
+    Carried by the invariant checkers in :mod:`repro.lds.invariants`; seeing
+    this outside of a test indicates a bug in the rebalancing logic.
+    """
+
+    def __init__(self, message: str, vertex: int | None = None) -> None:
+        super().__init__(message)
+        self.vertex = vertex
+
+
+class BatchInProgressError(ReproError):
+    """An operation that requires quiescence was invoked mid-batch."""
+
+
+class HistoryError(ReproError):
+    """An operation history is malformed (e.g. response before invocation)."""
+
+
+class NotLinearizable(ReproError):
+    """A recorded history admits no valid linearization.
+
+    Raised by :mod:`repro.verify.linearizability` when a violation is found;
+    the message pinpoints the offending operations.
+    """
+
+
+class SimulationError(ReproError):
+    """The deterministic scheduler was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is inconsistent (e.g. deleting absent edges)."""

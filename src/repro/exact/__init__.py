@@ -1,0 +1,21 @@
+"""Exact k-core decomposition (ground truth for the approximate structures).
+
+k-core decomposition is P-complete, so the paper (and this reproduction)
+maintain an *approximate* decomposition dynamically; the exact sequential
+algorithm here is the reference every approximation is measured against in
+the Fig 6 error experiments and the Table 1 largest-k column.
+"""
+
+from repro.exact.dynamic import DynamicExactKCore
+from repro.exact.hindex import hindex_coreness
+from repro.exact.peeling import core_decomposition, degeneracy, k_core_subgraph
+from repro.exact.verify import check_core_decomposition
+
+__all__ = [
+    "DynamicExactKCore",
+    "core_decomposition",
+    "degeneracy",
+    "hindex_coreness",
+    "k_core_subgraph",
+    "check_core_decomposition",
+]

@@ -1,0 +1,193 @@
+"""Exact *dynamic* k-core maintenance (the related-work baseline class).
+
+The paper's related work compares the approximate batch-dynamic approach
+against exact core-maintenance algorithms [Sariyüce et al., VLDB 2013;
+Li et al., TKDE 2014; Zhang et al., ICDE 2017]; the PLDS paper showed the
+approximate structure significantly outperforms them at scale.  This module
+implements the classic *traversal* algorithm so the comparison can be run
+here too (see ``benchmarks/bench_ablations.py``):
+
+* an edge insertion can raise corenesses by at most one, and only inside the
+  *subcore* of the lower-coreness endpoint (its maximal connected
+  same-coreness subgraph); candidates are confirmed by iterative pruning of
+  vertices without enough qualified support;
+* an edge deletion can lower corenesses by at most one, cascading through
+  same-coreness vertices whose remaining support drops below their coreness.
+
+Unlike the CPLDS this structure is exact, sequential, per-edge, and offers
+no read/update concurrency story — which is precisely the gap the paper
+fills.  Reads here are only meaningful in quiescence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import VertexOutOfRange
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.types import Edge, Vertex
+
+
+class DynamicExactKCore:
+    """Exact coreness under single-edge (or looped batch) updates.
+
+    Examples
+    --------
+    >>> kc = DynamicExactKCore(4)
+    >>> for e in [(0, 1), (1, 2), (0, 2)]:
+    ...     _ = kc.insert_edge(*e)
+    >>> kc.coreness(0)
+    2
+    >>> _ = kc.delete_edge(0, 1)
+    >>> kc.coreness(0)
+    1
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        self.graph = DynamicGraph(num_vertices)
+        self.core: list[int] = [0] * num_vertices
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def coreness(self, v: Vertex) -> int:
+        """Exact coreness of ``v`` (quiescent)."""
+        if not 0 <= v < self.graph.num_vertices:
+            raise VertexOutOfRange(v, self.graph.num_vertices)
+        return self.core[v]
+
+    def read(self, v: Vertex) -> float:
+        """Coreness as a float (interface parity with the approximate
+        structures)."""
+        return float(self.coreness(v))
+
+    def corenesses(self) -> np.ndarray:
+        """All corenesses as an int64 array."""
+        return np.asarray(self.core, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Insertion (traversal algorithm)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Insert ``(u, v)``; return whether the edge was new."""
+        if not self.graph.insert_edge(u, v):
+            return False
+        core = self.core
+        k = min(core[u], core[v])
+        # Candidates: the same-coreness subcores of the endpoint(s) at level
+        # k — the only vertices whose coreness can rise (by exactly one).
+        roots = [w for w in (u, v) if core[w] == k]
+        candidates = self._same_core_component(roots, k)
+        self._promote_supported(candidates, k)
+        return True
+
+    def _same_core_component(self, roots: list[Vertex], k: int) -> set[Vertex]:
+        seen: set[Vertex] = set()
+        dq = deque(roots)
+        core = self.core
+        while dq:
+            w = dq.popleft()
+            if w in seen:
+                continue
+            seen.add(w)
+            for x in self.graph.neighbors_unsafe(w):
+                if core[x] == k and x not in seen:
+                    dq.append(x)
+        return seen
+
+    def _promote_supported(self, candidates: set[Vertex], k: int) -> None:
+        """Iteratively prune candidates without enough (k+1)-support; the
+        survivors' coreness rises to ``k + 1``."""
+        core = self.core
+        # cd[w]: neighbours that could support w in a (k+1)-core — those of
+        # higher coreness, plus surviving candidates.
+        cd: dict[Vertex, int] = {}
+        for w in candidates:
+            cd[w] = sum(
+                1
+                for x in self.graph.neighbors_unsafe(w)
+                if core[x] > k or x in candidates
+            )
+        dq = deque(w for w in candidates if cd[w] < k + 1)
+        removed: set[Vertex] = set()
+        while dq:
+            w = dq.popleft()
+            if w in removed:
+                continue
+            removed.add(w)
+            for x in self.graph.neighbors_unsafe(w):
+                if x in candidates and x not in removed:
+                    cd[x] -= 1
+                    if cd[x] < k + 1:
+                        dq.append(x)
+        for w in candidates - removed:
+            core[w] = k + 1
+
+    # ------------------------------------------------------------------
+    # Deletion (cascading demotion)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Delete ``(u, v)``; return whether the edge was present."""
+        if not self.graph.delete_edge(u, v):
+            return False
+        core = self.core
+        k = min(core[u], core[v])
+        seeds = [w for w in (u, v) if core[w] == k]
+        self._demote_unsupported(seeds, k)
+        return True
+
+    def _demote_unsupported(self, seeds: list[Vertex], k: int) -> None:
+        """Cascade coreness decrements from ``seeds`` at level ``k``.
+
+        A vertex of coreness ``k`` needs at least ``k`` neighbours of
+        coreness >= ``k``; vertices falling below cascade to their
+        same-coreness neighbours.  Each vertex drops by at most one per
+        deleted edge (the classic invariant).
+        """
+        core = self.core
+
+        def support(w: Vertex) -> int:
+            return sum(
+                1 for x in self.graph.neighbors_unsafe(w) if core[x] >= k
+            )
+
+        dq = deque(w for w in seeds if core[w] == k and support(w) < k)
+        demoted: set[Vertex] = set()
+        while dq:
+            w = dq.popleft()
+            if w in demoted or core[w] != k:
+                continue
+            demoted.add(w)
+            core[w] = k - 1
+            for x in self.graph.neighbors_unsafe(w):
+                if core[x] == k and x not in demoted and support(x) < k:
+                    dq.append(x)
+
+    # ------------------------------------------------------------------
+    # Batch conveniences (sequential loops — this is the point of the
+    # comparison: exact maintenance has no batch parallelism to offer)
+    # ------------------------------------------------------------------
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        return sum(1 for u, v in edges if self.insert_edge(u, v))
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        return sum(1 for u, v in edges if self.delete_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # Verification support
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Assert the maintained corenesses equal a from-scratch recompute."""
+        from repro.exact.peeling import core_decomposition
+
+        expected = core_decomposition(self.graph)
+        actual = self.corenesses()
+        if not np.array_equal(expected, actual):
+            bad = np.nonzero(expected != actual)[0][:10]
+            raise AssertionError(
+                f"dynamic exact coreness drifted at vertices {bad.tolist()}: "
+                f"expected {expected[bad].tolist()}, got {actual[bad].tolist()}"
+            )

@@ -1,0 +1,141 @@
+"""Exact k-core decomposition by bucketed peeling (Matula–Beck / Batagelj–Zavernik).
+
+This is the classic O(n + m) algorithm: repeatedly remove a vertex of minimum
+remaining degree; the coreness of a vertex is the largest minimum-degree seen
+when it is removed.  Implemented over the CSR snapshot with flat numpy arrays
+for position/bucket bookkeeping — the one place in this library where the HPC
+guides' "keep the hot kernel on contiguous arrays" advice pays off directly,
+since this runs on every dataset in the Table 1 and Fig 6 benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _as_csr(graph: CSRGraph | DynamicGraph) -> CSRGraph:
+    if isinstance(graph, DynamicGraph):
+        return CSRGraph.from_dynamic(graph)
+    return graph
+
+
+def core_decomposition(graph: CSRGraph | DynamicGraph) -> np.ndarray:
+    """Exact coreness of every vertex, as an int64 array of length ``n``.
+
+    Runs the Batagelj–Zaversnik bucket-sort peeling in O(n + m):
+
+    1. bucket-sort vertices by degree (``bin_start`` / ``order`` / ``pos``),
+    2. sweep vertices in non-decreasing degree order; the sweep-time degree of
+       a vertex is its coreness,
+    3. when ``v`` is peeled, decrement each unpeeled higher-degree neighbour
+       by swapping it to the front of its bucket — O(1) per decrement.
+
+    Examples
+    --------
+    >>> from repro.graph import DynamicGraph
+    >>> g = DynamicGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+    >>> core_decomposition(g).tolist()
+    [2, 2, 2, 1]
+    """
+    csr = _as_csr(graph)
+    n = csr.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    deg = csr.degrees().astype(np.int64)
+    max_deg = int(deg.max(initial=0))
+
+    # Bucket sort vertices by degree.
+    bin_count = np.bincount(deg, minlength=max_deg + 1)
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    np.cumsum(bin_count, out=bin_start[1:])
+    # order[i] = i-th vertex in degree order; pos[v] = index of v in order.
+    order = np.argsort(deg, kind="stable").astype(np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n, dtype=np.int64)
+    # next_in_bin[d] = next free slot in bucket d (mutable copy of starts).
+    next_slot = bin_start[:-1].copy()
+
+    core = deg.copy()
+    offsets, targets = csr.offsets, csr.targets
+    # Peeling needs per-vertex mutable degrees and the bucket swap trick.
+    for i in range(n):
+        v = order[i]
+        dv = core[v]
+        for j in range(offsets[v], offsets[v + 1]):
+            u = targets[j]
+            du = core[u]
+            if du > dv:
+                # Move u to the front of its bucket, then shrink its degree.
+                pu = pos[u]
+                front = next_slot[du]
+                w = order[front]
+                if u != w:
+                    order[front], order[pu] = u, w
+                    pos[u], pos[w] = front, pu
+                next_slot[du] += 1
+                core[u] = du - 1
+        # Advance the bucket pointer past v itself so future swaps in bucket
+        # dv cannot move an unpeeled vertex onto an already-peeled slot.
+        if next_slot[dv] <= i:
+            next_slot[dv] = i + 1
+    return core
+
+
+def degeneracy(graph: CSRGraph | DynamicGraph) -> int:
+    """The degeneracy of the graph = its largest coreness (Table 1's "largest k")."""
+    cores = core_decomposition(graph)
+    return int(cores.max(initial=0))
+
+
+def k_core_subgraph(graph: CSRGraph | DynamicGraph, k: int) -> np.ndarray:
+    """Boolean mask of vertices in the k-core (coreness >= k)."""
+    return core_decomposition(graph) >= k
+
+
+def degeneracy_ordering(graph: CSRGraph | DynamicGraph) -> np.ndarray:
+    """A peeling (smallest-last) ordering of the vertices.
+
+    Vertex ``order[0]`` is peeled first.  Useful for downstream consumers
+    (greedy colouring, clique enumeration) and exercised by the examples.
+    """
+    csr = _as_csr(graph)
+    n = csr.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    deg = csr.degrees().astype(np.int64)
+    removed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    # Simple heap-free repeated-min loop driven by buckets.
+    buckets: list[list[int]] = [[] for _ in range(int(deg.max(initial=0)) + 1)]
+    for v in range(n):
+        buckets[deg[v]].append(v)
+    d = 0
+    for i in range(n):
+        while d < len(buckets) and not buckets[d]:
+            d += 1
+        # Degrees only decrease, so also rewind when decrements re-populate
+        # lower buckets.
+        while d > 0 and buckets[d - 1]:
+            d -= 1
+        v = buckets[d].pop()
+        if removed[v] or deg[v] != d:
+            # Stale bucket entry; re-resolve.
+            while True:
+                while d < len(buckets) and not buckets[d]:
+                    d += 1
+                while d > 0 and buckets[d - 1]:
+                    d -= 1
+                v = buckets[d].pop()
+                if not removed[v] and deg[v] == d:
+                    break
+        removed[v] = True
+        order[i] = v
+        for u in csr.neighbors(v):
+            if not removed[u]:
+                deg[u] -= 1
+                buckets[deg[u]].append(int(u))
+    return order

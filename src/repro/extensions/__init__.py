@@ -1,0 +1,48 @@
+"""Extensions: the related problems the paper's conclusion points at.
+
+"We are also interested in applying our data structure to other graph
+problems closely related to k-core decomposition, such as low out-degree
+orientation, ... and densest subgraph." (§9)
+
+The level data structure already encodes the answers to these problems; the
+modules here expose them through the same batched-update /
+asynchronous-read discipline:
+
+* :mod:`repro.extensions.orientation` — an O(α)-out-degree edge orientation
+  read straight off the levels (orient every edge toward the higher level).
+* :mod:`repro.extensions.densest` — an O(2+ε)-approximate densest-subgraph
+  extraction from the top populated levels, audited against Goldberg-exact
+  peeling-based approximation.
+* :mod:`repro.extensions.vertex_updates` — batch vertex insertion/deletion
+  on top of edge batches (footnote 1 of the paper).
+* :mod:`repro.extensions.influence` — influential-spreader (k-shell)
+  ranking, the application the paper's introduction leads with.
+* :mod:`repro.extensions.triangles` — O(m·α) triangle counting via the
+  level-induced orientation (the k-clique-counting direction of §9).
+* :mod:`repro.extensions.coloring` — degeneracy-ordering greedy coloring
+  with ≤ α+1 colors (exact) and an O(α) level-ordered variant.
+"""
+
+from repro.extensions.coloring import greedy_coloring_exact, greedy_coloring_lds
+from repro.extensions.influence import (
+    rank_by_coreness,
+    ranking_agreement,
+    top_spreaders,
+)
+from repro.extensions.orientation import LowOutDegreeOrientation
+from repro.extensions.densest import densest_subgraph_estimate, peeling_densest
+from repro.extensions.triangles import count_triangles_oriented
+from repro.extensions.vertex_updates import VertexUpdatableKCore
+
+__all__ = [
+    "LowOutDegreeOrientation",
+    "densest_subgraph_estimate",
+    "peeling_densest",
+    "VertexUpdatableKCore",
+    "rank_by_coreness",
+    "ranking_agreement",
+    "top_spreaders",
+    "count_triangles_oriented",
+    "greedy_coloring_exact",
+    "greedy_coloring_lds",
+]

@@ -1,0 +1,103 @@
+"""Influential-spreader identification from coreness (k-shell method).
+
+The paper's introduction motivates k-core decomposition with, among others,
+"identification of influential spreaders in complex networks" [Kitsak et
+al., Nature Physics 2010]: a vertex's coreness (k-shell index) predicts its
+spreading power better than degree.  This module implements that consumer on
+top of the dynamic structure — the application-level payoff of keeping the
+decomposition fresh under churn:
+
+* :func:`rank_by_coreness` — vertices ranked by (estimate, degree) with the
+  linearizable read path, so rankings can be computed live during batches;
+* :func:`top_spreaders` — the top-k slice;
+* :func:`ranking_agreement` — precision@k of the approximate ranking
+  against the exact one, used by the tests to show the (2+ε) estimates
+  preserve the head of the influence ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exact import core_decomposition
+from repro.types import Vertex
+
+
+def rank_by_coreness(impl, *, tie_break_degree: bool = True) -> list[Vertex]:
+    """All vertices, most influential first.
+
+    Primary key: the coreness estimate (via ``impl.read``); tie-break:
+    degree (Kitsak et al. rank within shells by degree), then vertex id for
+    determinism.  Works with any implementation exposing ``read`` and
+    ``graph`` (CPLDS, baselines, the exact dynamic structure).
+    """
+    n = impl.graph.num_vertices
+    keys = []
+    for v in range(n):
+        estimate = impl.read(v)
+        degree = impl.graph.degree(v) if tie_break_degree else 0
+        keys.append((-estimate, -degree, v))
+    keys.sort()
+    return [v for _, _, v in keys]
+
+
+def top_spreaders(impl, k: int) -> list[Vertex]:
+    """The ``k`` most influential vertices under the k-shell criterion."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    return rank_by_coreness(impl)[:k]
+
+
+def exact_rank(graph, *, tie_break_degree: bool = True) -> list[Vertex]:
+    """Ground-truth ranking from the exact decomposition."""
+    cores = core_decomposition(graph)
+    keys = []
+    for v in range(graph.num_vertices):
+        degree = graph.degree(v) if tie_break_degree else 0
+        keys.append((-int(cores[v]), -degree, v))
+    keys.sort()
+    return [v for _, _, v in keys]
+
+
+def ranking_agreement(
+    approx_ranking: Sequence[Vertex],
+    exact_ranking: Sequence[Vertex],
+    k: int,
+) -> float:
+    """Precision@k: fraction of the exact top-k found in the approximate
+    top-k (order-insensitive — shell membership is what matters)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    a = set(approx_ranking[:k])
+    b = set(exact_ranking[:k])
+    return len(a & b) / k
+
+
+def shell_histogram(impl) -> dict[float, int]:
+    """Population of each estimated shell (estimate value -> count)."""
+    out: dict[float, int] = {}
+    for v in range(impl.graph.num_vertices):
+        est = impl.read(v)
+        out[est] = out.get(est, 0) + 1
+    return out
+
+
+def spreading_power_proxy(graph, seeds: Sequence[Vertex], hops: int = 2) -> int:
+    """A cheap spreading proxy: vertices reachable from ``seeds`` within
+    ``hops``.  Used by tests to confirm core-ranked seeds out-spread
+    degree-ranked or random seeds on community-structured graphs."""
+    frontier = set(seeds)
+    reached = set(seeds)
+    for _ in range(hops):
+        nxt = set()
+        for v in frontier:
+            for w in graph.neighbors_unsafe(v):
+                if w not in reached:
+                    nxt.add(w)
+        reached |= nxt
+        frontier = nxt
+        if not frontier:
+            break
+    return len(reached)

@@ -1,0 +1,74 @@
+"""Orientation-based triangle counting (the k-clique-counting application).
+
+The paper's conclusion lists "k-clique counting" among the problems its
+structure extends to; the enabling fact is the O(α) out-degree orientation
+the levels provide (see :mod:`repro.extensions.orientation`).  Counting
+triangles over an oriented graph — for each edge ``u→v``, intersect the two
+out-neighbourhoods — runs in ``O(m·α)`` instead of the naive ``O(m^{3/2})``,
+which is exactly how the state-of-the-art k-clique counters use low
+out-degree orientations.
+
+:func:`count_triangles_oriented` consumes a quiescent CPLDS through its
+orientation view; :func:`count_triangles_naive` is the independent audit.
+"""
+
+from __future__ import annotations
+
+from repro.core.cplds import CPLDS
+from repro.extensions.orientation import LowOutDegreeOrientation
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def count_triangles_naive(graph: DynamicGraph) -> int:
+    """Reference count: sum of per-vertex triangle incidences / 3."""
+    total = 0
+    for v in range(graph.num_vertices):
+        nbrs = graph.neighbors_unsafe(v)
+        for w in nbrs:
+            if w > v:
+                for x in graph.neighbors_unsafe(w):
+                    if x > w and x in nbrs:
+                        total += 1
+    return total
+
+
+def count_triangles_oriented(cplds: CPLDS) -> int:
+    """Triangle count via the level-induced O(α) orientation.
+
+    Every triangle has exactly one vertex from which both its edges point
+    outward (the orientation is acyclic), so summing
+    ``|out(u) ∩ out(v)|`` over oriented edges ``u→v`` counts each triangle
+    once.  Work is ``Σ_e min-side intersection ≤ O(m · α)``.
+    """
+    orientation = LowOutDegreeOrientation(cplds)
+    n = cplds.graph.num_vertices
+    out: list[set[int]] = [set() for _ in range(n)]
+    for tail, head in orientation.oriented_edges():
+        out[tail].add(head)
+    total = 0
+    for u in range(n):
+        for v in out[u]:
+            # Triangles u→v, u→x, v→x.
+            small, large = (
+                (out[u], out[v]) if len(out[u]) <= len(out[v]) else (out[v], out[u])
+            )
+            total += sum(1 for x in small if x in large)
+    return total
+
+
+def local_triangle_counts(cplds: CPLDS) -> list[int]:
+    """Per-vertex triangle incidences (each triangle counted at all three
+    corners), via the same oriented enumeration."""
+    orientation = LowOutDegreeOrientation(cplds)
+    n = cplds.graph.num_vertices
+    out: list[set[int]] = [set() for _ in range(n)]
+    for tail, head in orientation.oriented_edges():
+        out[tail].add(head)
+    counts = [0] * n
+    for u in range(n):
+        for v in out[u]:
+            for x in out[u] & out[v]:
+                counts[u] += 1
+                counts[v] += 1
+                counts[x] += 1
+    return counts

@@ -1,0 +1,18 @@
+"""Dynamic-graph substrate: storage, snapshots, generators, datasets, I/O.
+
+This package stands in for the role GBBS plays in the paper's implementation:
+it owns the mutable undirected graph that the level data structures are
+maintained against, plus everything needed to fabricate realistic workloads
+offline (synthetic stand-ins for the SNAP/DIMACS datasets of Table 1).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.edgelist import read_edge_list, write_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "DynamicGraph",
+    "read_edge_list",
+    "write_edge_list",
+]

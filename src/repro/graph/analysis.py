@@ -1,0 +1,103 @@
+"""Graph analysis utilities: components, BFS, induced subgraphs, density.
+
+Generic substrate helpers shared by the extensions, the densest-subgraph
+audit, and the examples.  Deliberately dependency-free (plain adjacency
+walks) so they work on any :class:`DynamicGraph` state, including mid-churn
+snapshots taken with :meth:`DynamicGraph.copy`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.types import Vertex
+
+
+def connected_components(graph: DynamicGraph) -> list[list[Vertex]]:
+    """All connected components, each sorted, largest first."""
+    n = graph.num_vertices
+    seen = [False] * n
+    components: list[list[Vertex]] = []
+    for s in range(n):
+        if seen[s]:
+            continue
+        comp = []
+        dq = deque([s])
+        seen[s] = True
+        while dq:
+            v = dq.popleft()
+            comp.append(v)
+            for w in graph.neighbors_unsafe(v):
+                if not seen[w]:
+                    seen[w] = True
+                    dq.append(w)
+        comp.sort()
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def bfs_distances(graph: DynamicGraph, source: Vertex) -> dict[Vertex, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    dist = {source: 0}
+    dq = deque([source])
+    while dq:
+        v = dq.popleft()
+        for w in graph.neighbors_unsafe(v):
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                dq.append(w)
+    return dist
+
+
+def induced_subgraph(
+    graph: DynamicGraph, vertices: Iterable[Vertex]
+) -> tuple[DynamicGraph, dict[Vertex, int]]:
+    """The induced subgraph on ``vertices`` with compacted ids.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[original] = new_id``.
+    """
+    members = sorted(set(vertices))
+    mapping = {v: i for i, v in enumerate(members)}
+    sub = DynamicGraph(len(members))
+    for v in members:
+        for w in graph.neighbors_unsafe(v):
+            if w in mapping and v < w:
+                sub.insert_edge(mapping[v], mapping[w])
+    return sub, mapping
+
+
+def average_degree(graph: DynamicGraph) -> float:
+    """Mean degree (0.0 for empty vertex sets)."""
+    n = graph.num_vertices
+    return 2.0 * graph.num_edges / n if n else 0.0
+
+
+def degree_histogram(graph: DynamicGraph) -> dict[int, int]:
+    """``{degree: count}`` over all vertices."""
+    out: dict[int, int] = {}
+    for v in range(graph.num_vertices):
+        d = graph.degree(v)
+        out[d] = out.get(d, 0) + 1
+    return out
+
+
+def triangles_at(graph: DynamicGraph, v: Vertex) -> int:
+    """Number of triangles through ``v`` (edges among its neighbours)."""
+    nbrs = graph.neighbors_unsafe(v)
+    count = 0
+    for w in nbrs:
+        for x in graph.neighbors_unsafe(w):
+            if x in nbrs and x > w:
+                count += 1
+    return count
+
+
+def clustering_coefficient(graph: DynamicGraph, v: Vertex) -> float:
+    """Local clustering coefficient of ``v`` (0.0 when degree < 2)."""
+    d = graph.degree(v)
+    if d < 2:
+        return 0.0
+    return 2.0 * triangles_at(graph, v) / (d * (d - 1))

@@ -1,0 +1,337 @@
+"""Synthetic graph generators used to fabricate the paper's workloads offline.
+
+The paper evaluates on SNAP / Network Repository / DIMACS graphs which are not
+available in this offline environment, so :mod:`repro.graph.datasets` builds
+scaled stand-ins from the generators here.  Each generator targets one
+structural regime that matters for dynamic k-core behaviour:
+
+* :func:`erdos_renyi` — flat degree distribution, shallow core hierarchy.
+* :func:`chung_lu` — prescribed power-law expected degrees; heavy-tailed
+  corenesses like the social graphs (*dblp*, *lj*, *orkut*, ...).
+* :func:`preferential_attachment` — Barabási–Albert; connected, heavy tail.
+* :func:`rmat` — Kronecker-style skew with community blocks (like *twitter*).
+* :func:`grid_road` — near-planar lattice with perturbations; maximum
+  coreness 3 exactly like the DIMACS road networks (*ctr*, *usa*).
+* :func:`community_overlay` — dense planted cliques over a sparse background,
+  giving the very deep cores of the *brain* graph.
+
+All generators are deterministic given ``seed`` and return canonical,
+de-duplicated edge lists (no self-loops), ready for
+:class:`~repro.graph.dynamic_graph.DynamicGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import Edge, canonical_edge
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _dedup(edges: list[Edge]) -> list[Edge]:
+    seen: set[Edge] = set()
+    out: list[Edge] = []
+    for u, v in edges:
+        if u == v:
+            continue
+        e = canonical_edge(u, v)
+        if e not in seen:
+            seen.add(e)
+            out.append(e)
+    return out
+
+
+def erdos_renyi(n: int, m: int, seed: int | None = 0) -> list[Edge]:
+    """G(n, m)-style graph: ``m`` distinct uniform random edges on ``n`` vertices.
+
+    Samples with rejection in vectorised numpy rounds, so it stays fast even
+    for large ``m`` (per the HPC guidance: no per-edge Python loop until the
+    final dedup pass).
+    """
+    if n < 2:
+        return []
+    max_edges = n * (n - 1) // 2
+    m = min(m, max_edges)
+    rng = _rng(seed)
+    chosen: set[Edge] = set()
+    out: list[Edge] = []
+    while len(out) < m:
+        need = m - len(out)
+        us = rng.integers(0, n, size=2 * need + 8)
+        vs = rng.integers(0, n, size=2 * need + 8)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            e = canonical_edge(u, v)
+            if e in chosen:
+                continue
+            chosen.add(e)
+            out.append(e)
+            if len(out) == m:
+                break
+    return out
+
+
+def chung_lu(
+    n: int,
+    target_edges: int,
+    exponent: float = 2.5,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """Chung–Lu graph with power-law expected degrees ``w_i ∝ i^{-1/(exponent-1)}``.
+
+    Edges are sampled by drawing both endpoints from the weight distribution,
+    which matches the Chung–Lu model up to the usual ``w_u w_v / W`` factor
+    and yields a heavy-tailed degree (and coreness) profile.
+    """
+    if n < 2 or target_edges <= 0:
+        return []
+    rng = _rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    probs = weights / weights.sum()
+    out: list[Edge] = []
+    seen: set[Edge] = set()
+    attempts = 0
+    max_attempts = 30 * target_edges + 1000
+    while len(out) < target_edges and attempts < max_attempts:
+        need = target_edges - len(out)
+        us = rng.choice(n, size=2 * need + 8, p=probs)
+        vs = rng.choice(n, size=2 * need + 8, p=probs)
+        attempts += len(us)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            e = canonical_edge(int(u), int(v))
+            if e in seen:
+                continue
+            seen.add(e)
+            out.append(e)
+            if len(out) == target_edges:
+                break
+    return out
+
+
+def preferential_attachment(n: int, m_per_vertex: int, seed: int | None = 0) -> list[Edge]:
+    """Barabási–Albert graph: each new vertex attaches to ``m_per_vertex`` others.
+
+    Uses the standard repeated-endpoint trick (attachment proportional to
+    degree by sampling from the flat edge-endpoint list).
+    """
+    if n <= m_per_vertex:
+        # Fully connect the tiny case.
+        return _dedup([(u, v) for u in range(n) for v in range(u + 1, n)])
+    rng = _rng(seed)
+    edges: list[Edge] = []
+    # Seed clique over the first m_per_vertex + 1 vertices.
+    core = m_per_vertex + 1
+    repeated: list[int] = []
+    for u in range(core):
+        for v in range(u + 1, core):
+            edges.append((u, v))
+            repeated.extend((u, v))
+    for new in range(core, n):
+        targets: set[int] = set()
+        while len(targets) < m_per_vertex:
+            t = repeated[int(rng.integers(0, len(repeated)))]
+            if t != new:
+                targets.add(t)
+        for t in targets:
+            edges.append(canonical_edge(new, t))
+            repeated.extend((new, t))
+    return _dedup(edges)
+
+
+def rmat(
+    scale: int,
+    target_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """R-MAT (recursive matrix) graph on ``2**scale`` vertices.
+
+    The classic Kronecker-style generator behind Graph500 and the skewed
+    *twitter*-like workloads.  ``a + b + c + d == 1`` with ``d`` implied.
+    Vectorised: all bit decisions for all edges are drawn in one numpy pass.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("rmat probabilities must satisfy a + b + c <= 1")
+    n = 1 << scale
+    rng = _rng(seed)
+    out: list[Edge] = []
+    seen: set[Edge] = set()
+    while len(out) < target_edges:
+        need = target_edges - len(out)
+        batch = 2 * need + 16
+        # For each edge and each bit level, pick one of 4 quadrants.
+        r = rng.random(size=(batch, scale))
+        u = np.zeros(batch, dtype=np.int64)
+        v = np.zeros(batch, dtype=np.int64)
+        ab = a + b
+        abc = a + b + c
+        for bit in range(scale):
+            col = r[:, bit]
+            right = (col >= a) & (col < ab)  # quadrant b: v bit set
+            down = (col >= ab) & (col < abc)  # quadrant c: u bit set
+            both = col >= abc  # quadrant d: both bits set
+            u = (u << 1) | (down | both).astype(np.int64)
+            v = (v << 1) | (right | both).astype(np.int64)
+        for uu, vv in zip(u.tolist(), v.tolist()):
+            if uu == vv:
+                continue
+            e = canonical_edge(uu, vv)
+            if e in seen:
+                continue
+            seen.add(e)
+            out.append(e)
+            if len(out) == target_edges:
+                break
+        # Guard against degenerate parameterisations that cannot supply
+        # enough distinct edges.
+        if len(seen) >= n * (n - 1) // 2:
+            break
+    return out
+
+
+def grid_road(
+    rows: int,
+    cols: int,
+    diagonal_fraction: float = 0.05,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """Road-network stand-in: a ``rows × cols`` lattice plus sparse diagonals.
+
+    A pure lattice is 2-degenerate; adding a ``diagonal_fraction`` of cell
+    diagonals creates pockets of coreness 3, matching the DIMACS road graphs
+    (*ctr*, *usa*) whose largest k is 3 in Table 1.
+    """
+    rng = _rng(seed)
+    edges: list[Edge] = []
+
+    def vid(r: int, col: int) -> int:
+        return r * cols + col
+
+    for r in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                edges.append((vid(r, col), vid(r, col + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, col), vid(r + 1, col)))
+            if (
+                r + 1 < rows
+                and col + 1 < cols
+                and rng.random() < diagonal_fraction
+            ):
+                edges.append((vid(r, col), vid(r + 1, col + 1)))
+                edges.append((vid(r, col + 1), vid(r + 1, col)))
+    return _dedup(edges)
+
+
+def community_overlay(
+    n: int,
+    num_communities: int,
+    community_size: int,
+    background_edges: int,
+    intra_density: float = 0.9,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """Dense planted communities over a sparse random background.
+
+    Each community is a near-clique of ``community_size`` vertices with edge
+    probability ``intra_density``, driving the maximum coreness up to roughly
+    ``intra_density * community_size`` — the deep-core regime of the *brain*
+    and *orkut* graphs.
+    """
+    rng = _rng(seed)
+    edges: list[Edge] = list(
+        erdos_renyi(n, background_edges, seed=None if seed is None else seed + 1)
+    )
+    for ci in range(num_communities):
+        members = rng.choice(n, size=min(community_size, n), replace=False)
+        members = members.tolist()
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                if rng.random() < intra_density:
+                    edges.append(canonical_edge(members[i], members[j]))
+        del ci
+    return _dedup(edges)
+
+
+def stochastic_block_model(
+    block_sizes: list[int],
+    p_in: float,
+    p_out: float,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """Stochastic block model: dense blocks, sparse cross-block edges.
+
+    The canonical community-detection benchmark model; used by tests as a
+    middle ground between :func:`community_overlay` (planted near-cliques)
+    and :func:`erdos_renyi` (no structure).  Vertices are numbered block by
+    block; edge probability is ``p_in`` within a block and ``p_out`` across.
+    Sampled block-pair by block-pair with vectorised Bernoulli draws.
+    """
+    if not 0.0 <= p_out <= p_in <= 1.0:
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    if any(s < 0 for s in block_sizes):
+        raise ValueError("block sizes must be non-negative")
+    rng = _rng(seed)
+    starts = [0]
+    for s in block_sizes:
+        starts.append(starts[-1] + s)
+    edges: list[Edge] = []
+    num_blocks = len(block_sizes)
+    for bi in range(num_blocks):
+        lo_i, hi_i = starts[bi], starts[bi + 1]
+        # Within-block pairs.
+        size = hi_i - lo_i
+        if size >= 2 and p_in > 0:
+            mask = rng.random(size * (size - 1) // 2) < p_in
+            idx = 0
+            for u in range(lo_i, hi_i):
+                for v in range(u + 1, hi_i):
+                    if mask[idx]:
+                        edges.append((u, v))
+                    idx += 1
+        # Cross-block pairs.
+        for bj in range(bi + 1, num_blocks):
+            lo_j, hi_j = starts[bj], starts[bj + 1]
+            cross = (hi_i - lo_i) * (hi_j - lo_j)
+            if cross and p_out > 0:
+                mask = rng.random(cross) < p_out
+                idx = 0
+                for u in range(lo_i, hi_i):
+                    for v in range(lo_j, hi_j):
+                        if mask[idx]:
+                            edges.append((u, v))
+                        idx += 1
+    return _dedup(edges)
+
+
+def small_world(n: int, k: int, rewire: float = 0.1, seed: int | None = 0) -> list[Edge]:
+    """Watts–Strogatz ring lattice with rewiring (used by tests and examples).
+
+    Every vertex connects to its ``k`` nearest ring neighbours (``k`` even),
+    then each edge is rewired to a random endpoint with probability
+    ``rewire``.
+    """
+    if k % 2 != 0:
+        raise ValueError("small_world requires even k")
+    rng = _rng(seed)
+    edges: list[Edge] = []
+    for u in range(n):
+        for off in range(1, k // 2 + 1):
+            v = (u + off) % n
+            if rng.random() < rewire:
+                w = int(rng.integers(0, n))
+                if w != u:
+                    v = w
+            if u != v:
+                edges.append(canonical_edge(u, v))
+    return _dedup(edges)

@@ -1,0 +1,168 @@
+"""Plain-text rendering of experiment results.
+
+Each ``render_*`` function takes the row list produced by the matching driver
+in :mod:`repro.harness.experiments` and returns the table as a string — the
+same rows/series the paper's figures plot, in text form.  The benches print
+these so a full reproduction log reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.harness.experiments import (
+    BatchSizeRow,
+    ErrorRow,
+    FlashErrorRow,
+    HeadlineFactors,
+    LatencyRow,
+    Table1Row,
+    ThroughputRow,
+    UpdateTimeRow,
+)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers`` (numbers right-aligned)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Table 1 rows: paper statistics vs stand-in statistics."""
+    return format_table(
+        [
+            "dataset", "paper n", "paper m", "paper max k",
+            "standin n", "standin m", "standin max k",
+        ],
+        [
+            (
+                r.name, r.paper_vertices, r.paper_edges, r.paper_max_k,
+                r.standin_vertices, r.standin_edges, r.standin_max_k,
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig3(rows: list[LatencyRow]) -> str:
+    """Fig 3 series: read latency aggregates per impl/dataset/phase."""
+    return format_table(
+        ["dataset", "impl", "phase", "reads", "mean (us)", "p99 (us)", "p99.99 (us)"],
+        [
+            (
+                r.dataset, r.impl, r.phase, r.stats.count,
+                _us(r.stats.mean), _us(r.stats.p99), _us(r.stats.p9999),
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig4(rows: list[BatchSizeRow]) -> str:
+    """Fig 4 series: read latency across insertion batch sizes."""
+    return format_table(
+        ["dataset", "impl", "batch size", "mean (us)", "p99 (us)", "p99.99 (us)"],
+        [
+            (
+                r.dataset, r.impl, r.batch_size,
+                _us(r.stats.mean), _us(r.stats.p99), _us(r.stats.p9999),
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig5(rows: list[UpdateTimeRow]) -> str:
+    """Fig 5 series: average/maximum batch update times."""
+    return format_table(
+        ["dataset", "impl", "phase", "mean batch (ms)", "max batch (ms)"],
+        [
+            (r.dataset, r.impl, r.phase, r.mean * 1e3, r.max * 1e3)
+            for r in rows
+        ],
+    )
+
+
+def render_fig6(rows: list[ErrorRow]) -> str:
+    """Fig 6 series: read approximation error vs the 2.8 bound."""
+    return format_table(
+        ["dataset", "impl", "phase", "mean error", "max error", "2.8 bound"],
+        [
+            (
+                r.dataset, r.impl, r.phase,
+                r.mean_error, r.max_error, r.theoretical_bound,
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig6_flash(rows: list[FlashErrorRow]) -> str:
+    """§6.3 supplement: flash-crowd error growth by clique size."""
+    return format_table(
+        ["clique size", "impl", "mean error", "max error", "2.8 bound"],
+        [
+            (r.clique_size, r.impl, r.mean_error, r.max_error, r.theoretical_bound)
+            for r in rows
+        ],
+    )
+
+
+def render_fig7(rows: list[ThroughputRow]) -> str:
+    """Fig 7 series: read/write throughput per sweep point."""
+    return format_table(
+        [
+            "dataset", "impl", "sweep", "threads",
+            "read tput (ops/tick)", "write tput (edges/tick)",
+        ],
+        [
+            (
+                r.dataset, r.impl, r.direction, r.count,
+                r.read_throughput, r.write_throughput,
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_headline(factors: HeadlineFactors) -> str:
+    """The abstract's headline comparison factors, annotated with the paper's values."""
+    return "\n".join(
+        [
+            "Headline comparison factors (paper's abstract / §7 quantities):",
+            f"  read-latency speedup vs SyncReads   : "
+            f"{factors.latency_speedup_vs_syncreads:.3g}x   "
+            f"(paper: up to 4.05e5x)",
+            f"  read-latency overhead vs NonSync    : "
+            f"{factors.latency_overhead_vs_nonsync:.3g}x   (paper: <= 3.21x)",
+            f"  update-time overhead vs NonSync     : "
+            f"{factors.update_overhead_vs_nonsync:.3g}x   (paper: <= 1.48x)",
+            f"  max-error improvement vs NonSync    : "
+            f"{factors.accuracy_gain_vs_nonsync:.3g}x   (paper: up to 52.7x)",
+        ]
+    )

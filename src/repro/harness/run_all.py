@@ -1,0 +1,102 @@
+"""Run the complete reproduction and print every table/figure as text.
+
+Usage::
+
+    python -m repro.harness.run_all            # quick configuration
+    python -m repro.harness.run_all --full     # all ten datasets, 3 trials
+    python -m repro.harness.run_all --datasets dblp yt --trials 2
+
+The output is the paper's evaluation section in text form: Table 1, Figures
+3–7, the §6.3 flash-crowd supplement, and the abstract's headline factors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.graph import datasets as ds
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+
+def build_config(args: argparse.Namespace) -> E.ExperimentConfig:
+    """Resolve CLI arguments into an ExperimentConfig."""
+    base = E.FULL if args.full else E.QUICK
+    overrides = {}
+    if args.datasets:
+        unknown = set(args.datasets) - set(ds.names())
+        if unknown:
+            raise SystemExit(f"unknown datasets: {sorted(unknown)}")
+        overrides["datasets"] = tuple(args.datasets)
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.readers is not None:
+        overrides["num_readers"] = args.readers
+    return base.with_(**overrides) if overrides else base
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments and print every table (CLI entry)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full sweep")
+    parser.add_argument("--datasets", nargs="*", help="dataset stand-ins")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--readers", type=int, default=None)
+    parser.add_argument(
+        "--skip", nargs="*", default=[],
+        choices=["table1", "fig3", "fig4", "fig5", "fig6", "fig7"],
+        help="experiments to skip",
+    )
+    args = parser.parse_args(argv)
+    config = build_config(args)
+
+    def banner(title: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+    started = time.perf_counter()
+    fig3_rows = fig5_rows = fig6_rows = None
+
+    if "table1" not in args.skip:
+        banner("Table 1: graph sizes and largest k (paper vs stand-in)")
+        print(R.render_table1(E.table1(config.datasets)))
+
+    if "fig3" not in args.skip:
+        banner("Fig 3: read latency by implementation")
+        fig3_rows = E.fig3(config)
+        print(R.render_fig3(fig3_rows))
+
+    if "fig4" not in args.skip:
+        banner("Fig 4: read latency vs insertion batch size")
+        print(R.render_fig4(E.fig4(config.with_(datasets=config.datasets[:2]))))
+
+    if "fig5" not in args.skip:
+        banner("Fig 5: batch update times")
+        fig5_rows = E.fig5(config)
+        print(R.render_fig5(fig5_rows))
+
+    if "fig6" not in args.skip:
+        banner("Fig 6: read approximation error")
+        fig6_rows = E.fig6(config)
+        print(R.render_fig6(fig6_rows))
+        banner("Fig 6 supplement: §6.3 flash-crowd error growth")
+        print(R.render_fig6_flash(E.fig6_flash()))
+
+    if "fig7" not in args.skip:
+        banner("Fig 7: throughput scalability (virtual-time machine)")
+        print(R.render_fig7(E.fig7(config.with_(datasets=config.datasets[:2]))))
+
+    if fig3_rows and fig5_rows and fig6_rows:
+        banner("Headline factors")
+        print(R.render_headline(E.headline_factors(fig3_rows, fig5_rows, fig6_rows)))
+
+    print(f"\ntotal reproduction time: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

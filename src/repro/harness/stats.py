@@ -1,0 +1,105 @@
+"""Latency / throughput statistics used by every experiment.
+
+The paper reports, per configuration, the *average*, *99th percentile* and
+*99.99th percentile* read latency (Fig 3/4), average and maximum batch update
+time (Fig 5), and average throughputs (Fig 7).  These helpers compute exactly
+those aggregates, with the same nearest-rank percentile definition throughout
+so numbers are comparable across experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``pct`` in [0, 100]).
+
+    Deterministic and exact for small sample counts (unlike interpolating
+    definitions), which matters for the p99.99 of modest-size runs.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if pct == 0.0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """The paper's latency aggregate: mean / p99 / p99.99 / min / max / count."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    p9999: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            raise ValueError("LatencyStats of empty sample set")
+        ordered = sorted(samples)
+        n = len(ordered)
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=percentile(ordered, 50.0),
+            p99=percentile(ordered, 99.0),
+            p9999=percentile(ordered, 99.99),
+            min=ordered[0],
+            max=ordered[-1],
+        )
+
+    def scaled(self, factor: float) -> "LatencyStats":
+        """Same stats with every latency multiplied by ``factor`` (unit
+        conversion, e.g. seconds → microseconds)."""
+        return LatencyStats(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p99=self.p99 * factor,
+            p9999=self.p9999 * factor,
+            min=self.min * factor,
+            max=self.max * factor,
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencyStats:
+    """Convenience alias for :meth:`LatencyStats.from_samples`."""
+    return LatencyStats.from_samples(samples)
+
+
+@dataclass(frozen=True)
+class ThroughputStats:
+    """Operations per unit time, as the paper computes them.
+
+    For CPLDS/NonSync reads and writes: total operations divided by total
+    *write* time over all batches; for SyncReads, divided by write + read
+    time (see §7, "Scalability of Read and Write Throughputs").
+    """
+
+    operations: int
+    duration: float
+
+    @property
+    def per_second(self) -> float:
+        return self.operations / self.duration if self.duration > 0 else 0.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` is than ``baseline``.
+
+    Latency-style speedup: > 1 means ``improved`` is better (smaller).
+    """
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved

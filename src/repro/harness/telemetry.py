@@ -1,0 +1,121 @@
+"""Per-batch telemetry: structured series for dashboards and debugging.
+
+Collects one record per executed batch — sizes, moves, rounds, marked
+vertices, DAG counts, durations — by chaining a telemetry hook after the
+structure's own.  The series answers the operational questions the
+experiment drivers aggregate away: *which* batch was slow, did cascade depth
+spike, how bursty is marking.
+
+Example
+-------
+>>> from repro.core import CPLDS
+>>> from repro.harness.telemetry import TelemetryCollector
+>>> cp = CPLDS(6)
+>>> tele = TelemetryCollector.attach(cp)
+>>> _ = cp.insert_batch([(0, 1), (1, 2), (0, 2)])
+>>> len(tele.records)
+1
+>>> tele.records[0].kind
+'insert'
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.lds.plds import Phase, UpdateHooks
+from repro.runtime.inject import HookChain
+from repro.types import Edge
+
+
+@dataclass(frozen=True)
+class BatchTelemetry:
+    """One batch's operational record."""
+
+    index: int
+    kind: str
+    edges: int
+    moves: int
+    rounds: int
+    marked: int
+    dags: int
+    duration: float  # seconds, wall clock of the phase
+
+
+@dataclass
+class TelemetryCollector(UpdateHooks):
+    """Hook-based per-batch telemetry recorder.
+
+    Use :meth:`attach` to chain onto a CPLDS (or baseline); interrogate
+    ``records`` afterwards or render with :meth:`render`.
+    """
+
+    impl: object = None
+    records: list[BatchTelemetry] = field(default_factory=list)
+    _started: float = 0.0
+    _kind: str = "insert"
+    _edges: int = 0
+
+    @classmethod
+    def attach(cls, impl) -> "TelemetryCollector":
+        """Chain a collector after ``impl``'s existing PLDS hooks."""
+        collector = cls(impl=impl)
+        impl.plds.hooks = HookChain(impl.plds.hooks, collector)
+        return collector
+
+    # -- hook callbacks --------------------------------------------------
+    def batch_begin(self, kind: Phase, edges: Sequence[Edge]) -> None:
+        self._kind = kind
+        self._edges = len(edges)
+        self._started = time.perf_counter()
+
+    def batch_end(self) -> None:
+        impl = self.impl
+        plds = impl.plds
+        self.records.append(
+            BatchTelemetry(
+                index=len(self.records) + 1,
+                kind=self._kind,
+                edges=self._edges,
+                moves=plds.last_batch_moves,
+                rounds=plds.last_batch_rounds,
+                marked=getattr(impl, "last_batch_marked", 0),
+                dags=getattr(impl, "last_batch_dags", 0),
+                duration=time.perf_counter() - self._started,
+            )
+        )
+
+    # -- reporting --------------------------------------------------------
+    def render(self, *, last: int | None = None) -> str:
+        """Render (the tail of) the series as an aligned text table."""
+        # Imported here: report pulls in the experiment drivers, which would
+        # be a circular import at harness package-init time.
+        from repro.harness.report import format_table
+
+        rows = self.records if last is None else self.records[-last:]
+        return format_table(
+            ["#", "kind", "edges", "moves", "rounds", "marked", "dags", "ms"],
+            [
+                (
+                    r.index, r.kind, r.edges, r.moves, r.rounds,
+                    r.marked, r.dags, round(r.duration * 1e3, 2),
+                )
+                for r in rows
+            ],
+        )
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate counters over the whole series."""
+        return {
+            "batches": len(self.records),
+            "edges": sum(r.edges for r in self.records),
+            "moves": sum(r.moves for r in self.records),
+            "marked": sum(r.marked for r in self.records),
+            "duration": sum(r.duration for r in self.records),
+        }
+
+    def worst_batch(self) -> BatchTelemetry | None:
+        """The slowest batch (None when no batches ran)."""
+        return max(self.records, key=lambda r: r.duration, default=None)

@@ -1,0 +1,46 @@
+"""Coreness-estimate formula (Definition 3.1) and Lemma 3.2 helpers.
+
+These are free functions so that readers (which must not touch any mutable
+structure beyond the live-level array and descriptors) can map a level to an
+estimate without holding the LDS object itself.
+"""
+
+from __future__ import annotations
+
+from repro.lds.params import LDSParams
+
+
+def coreness_estimate(params: LDSParams, level: int) -> float:
+    """``k̂ = (1+δ)^{max(⌊(ℓ+1)/group_height⌋ − 1, 0)}`` for a vertex on ``level``."""
+    return params.coreness_estimate(level)
+
+
+def approximation_factor(estimate: float, exact: int) -> float:
+    """The symmetric error factor ``max(k̂/k, k/k̂)`` between estimate and truth.
+
+    Vertices of coreness 0 are excluded from error statistics (any positive
+    estimate would make the ratio infinite; the paper's error plots likewise
+    aggregate only over vertices with defined ratios).  Returns 1.0 when both
+    sides agree that the vertex is coreless.
+    """
+    if exact <= 0:
+        return 1.0 if estimate <= 1.0 else float(estimate)
+    if estimate <= 0:
+        return float("inf")
+    ratio = estimate / exact
+    return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+def lemma_3_2_bounds(params: LDSParams, exact: int) -> tuple[float, float]:
+    """The (loose) interval the estimate must fall in per Lemma 3.2.
+
+    For true coreness ``k(v)``, the lemma implies
+    ``k(v) / ((2 + 3/λ)(1+δ)) <= k̂(v) <= (2 + 3/λ)(1+δ) · k(v)``
+    whenever ``k(v) >= 1`` (up to one geometric step of slack, which we
+    include).  Used by property tests to sanity-check steady-state estimates.
+    """
+    c = params.theoretical_approximation_factor()
+    slack = 1.0 + params.delta
+    if exact <= 0:
+        return (0.0, c * slack)
+    return (exact / (c * slack), exact * c * slack)

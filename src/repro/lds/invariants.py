@@ -1,0 +1,67 @@
+"""Checkers for the two LDS degree invariants (Section 3.1 of the paper).
+
+These recompute every quantity from the graph itself — sharing no counters
+with the structures under test — so they certify both the invariants and the
+bookkeeping at once.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+from repro.lds.bookkeeping import LevelState
+
+
+def check_invariant1(state: LevelState) -> None:
+    """Degree upper bound for every vertex, recomputed from the graph."""
+    params = state.params
+    for v in range(state.graph.num_vertices):
+        lvl = state.level[v]
+        if lvl >= params.max_level:
+            continue
+        up = sum(
+            1 for w in state.graph.neighbors_unsafe(v) if state.level[w] >= lvl
+        )
+        bound = params.upper_threshold(lvl)
+        if up > bound:
+            raise InvariantViolation(
+                f"Invariant 1 violated at vertex {v}: level {lvl}, "
+                f"up-degree {up} > bound {bound:.3f}",
+                vertex=v,
+            )
+
+
+def check_invariant2(state: LevelState, *, slack_levels: int = 0) -> None:
+    """Degree lower bound for every vertex, recomputed from the graph.
+
+    ``slack_levels`` loosens the check for shallow (``levels_per_group``
+    override) configurations where the paper's own implementation tolerates
+    bounded staleness: a vertex may sit up to ``slack_levels`` above the
+    highest level at which Invariant 2 holds.
+    """
+    for v in range(state.graph.num_vertices):
+        lvl = state.level[v]
+        if lvl == 0:
+            continue
+        at_or_above = sum(
+            1
+            for w in state.graph.neighbors_unsafe(v)
+            if state.level[w] >= lvl - 1
+        )
+        bound = state.params.lower_threshold(lvl)
+        if at_or_above < bound:
+            if slack_levels:
+                desire = state.desire_level(v)
+                if lvl - desire <= slack_levels:
+                    continue
+            raise InvariantViolation(
+                f"Invariant 2 violated at vertex {v}: level {lvl}, "
+                f"neighbours at >= {lvl - 1}: {at_or_above} < bound {bound:.3f}",
+                vertex=v,
+            )
+
+
+def check_all_invariants(state: LevelState, *, slack_levels: int = 0) -> None:
+    """Both invariants plus counter consistency, in one call."""
+    state.assert_counters_consistent()
+    check_invariant1(state)
+    check_invariant2(state, slack_levels=slack_levels)

@@ -1,0 +1,42 @@
+"""Execution substrates: who runs the "parallel" parts, and on what clock.
+
+The paper's implementation runs on a 30-core machine with a C++ work-stealing
+scheduler.  CPython's GIL rules out shared-memory parallel speedup, so this
+package provides the substitutions documented in DESIGN.md:
+
+* :mod:`repro.runtime.executor` — the ``Executor`` abstraction the PLDS uses
+  for per-level "parallel" rounds (sequential, thread-pool, or simulated).
+* :mod:`repro.runtime.threads` — a real-threads harness: one update thread
+  applying batches while reader threads issue asynchronous reads, measuring
+  wall-clock latency.  Single-writer multi-reader concurrency is real here.
+* :mod:`repro.runtime.sim` — a deterministic virtual-time machine with a
+  P-core cost model, used for the scalability experiment (Fig 7);
+* :mod:`repro.runtime.inject` — deterministic mid-batch read injection;
+* :mod:`repro.runtime.stepping` — the read protocol as a coroutine,
+  interleaved with updates at individual protocol-step granularity;
+* :mod:`repro.runtime.coordinator` — multi-producer batch formation (the
+  service layer over the CPLDS);
+* :mod:`repro.runtime.replay` — timestamped trace replay with
+  visibility-lag measurement.
+"""
+
+from repro.runtime.coordinator import BatchCoordinator, UpdateTicket
+from repro.runtime.executor import (
+    Executor,
+    SequentialExecutor,
+    ThreadedExecutor,
+    RoundStats,
+)
+from repro.runtime.replay import TraceEvent, replay_trace, synthesize_trace
+
+__all__ = [
+    "Executor",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "RoundStats",
+    "BatchCoordinator",
+    "UpdateTicket",
+    "TraceEvent",
+    "replay_trace",
+    "synthesize_trace",
+]

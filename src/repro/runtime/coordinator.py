@@ -1,0 +1,215 @@
+"""Multi-producer batch coordination: the service layer over the CPLDS.
+
+The paper's model has updates arriving *already batched*; a deployment has
+to build those batches from many concurrent producers (the TAO-style write
+path of its motivation).  :class:`BatchCoordinator` is that layer:
+
+* any number of producer threads call :meth:`submit_insert` /
+  :meth:`submit_delete` and receive a :class:`UpdateTicket`;
+* a dedicated update thread drains the queue into batches — closed by size
+  (``max_batch``) or time (``max_delay`` since the oldest pending update) —
+  pre-processes them into insertion/deletion sub-batches
+  (:func:`~repro.workloads.mixes.preprocess_mixed_batch` semantics), and
+  applies them to the structure;
+* tickets complete when their batch has been applied, so producers can wait
+  for *durability* (visibility to readers) when they need read-your-writes;
+* reads go straight to the underlying structure at any time — that is the
+  whole point of the paper.
+
+Back-pressure: the queue is bounded; submissions block when the update
+thread falls behind.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+from repro.errors import ReproError
+from repro.types import Edge, Vertex, canonical_edge
+
+
+@dataclass
+class UpdateTicket:
+    """Completion handle for one submitted update."""
+
+    op: Literal["+", "-"]
+    edge: Edge
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Batch number the update was applied in (set on completion).
+    applied_in_batch: Optional[int] = None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the update is visible to readers."""
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class BatchCoordinator:
+    """Accumulate concurrent updates into batches and apply them in order.
+
+    Parameters
+    ----------
+    impl:
+        Anything exposing ``apply_batch(insertions, deletions)`` and
+        ``batch_number`` (CPLDS and both baselines qualify).
+    max_batch:
+        Close the current batch once this many updates are pending.
+    max_delay:
+        Close a non-empty batch at most this many seconds after its first
+        update arrived (latency bound for sparse update streams).
+    queue_capacity:
+        Back-pressure bound on pending submissions.
+    """
+
+    def __init__(
+        self,
+        impl,
+        *,
+        max_batch: int = 1024,
+        max_delay: float = 0.01,
+        queue_capacity: int = 65536,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay <= 0:
+            raise ValueError("max_delay must be positive")
+        self.impl = impl
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._queue: queue.Queue[UpdateTicket | None] = queue.Queue(queue_capacity)
+        self._closed = False
+        self._error: BaseException | None = None
+        self.batches_applied = 0
+        self.updates_applied = 0
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-coordinator"
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (any thread)
+    # ------------------------------------------------------------------
+    def submit_insert(self, u: Vertex, v: Vertex) -> UpdateTicket:
+        """Queue an edge insertion; returns its completion ticket."""
+        return self._submit("+", (u, v))
+
+    def submit_delete(self, u: Vertex, v: Vertex) -> UpdateTicket:
+        """Queue an edge deletion; returns its completion ticket."""
+        return self._submit("-", (u, v))
+
+    def _submit(self, op: Literal["+", "-"], edge: Edge) -> UpdateTicket:
+        if self._closed:
+            raise ReproError("coordinator is closed")
+        if self._error is not None:
+            raise ReproError("coordinator died") from self._error
+        ticket = UpdateTicket(op=op, edge=canonical_edge(*edge))
+        self._queue.put(ticket)  # blocks when full: back-pressure
+        return ticket
+
+    def read(self, v: Vertex) -> float:
+        """Pass-through asynchronous read (the paper's low-latency path)."""
+        return self.impl.read(v)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything submitted so far has been applied."""
+        marker = UpdateTicket(op="+", edge=(0, 0))
+        marker.edge_is_marker = True  # type: ignore[attr-defined]
+        self._queue.put(marker)
+        if not marker.wait(timeout):
+            raise TimeoutError("coordinator flush timed out")
+        if self._error is not None:
+            raise ReproError("coordinator died") from self._error
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush and stop the update thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - safety net
+            raise TimeoutError("coordinator failed to stop")
+        if self._error is not None:
+            raise ReproError("coordinator died") from self._error
+
+    def __enter__(self) -> "BatchCoordinator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Update thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            while True:
+                batch = self._collect()
+                if batch is None:
+                    return
+                self._apply(batch)
+        except BaseException as exc:  # pragma: no cover - surfaced via API
+            self._error = exc
+            # Fail every ticket still waiting so producers unblock.
+            while True:
+                try:
+                    t = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if t is not None:
+                    t._event.set()
+
+    def _collect(self) -> list[UpdateTicket] | None:
+        """Gather one batch: first update blocks, then a size/time window."""
+        first = self._queue.get()
+        if first is None:
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                self._apply(batch)
+                return None
+            batch.append(item)
+        return batch
+
+    def _apply(self, batch: list[UpdateTicket]) -> None:
+        # Pre-process: last op per edge wins (the paper's batch semantics).
+        final: dict[Edge, UpdateTicket] = {}
+        order: list[Edge] = []
+        markers: list[UpdateTicket] = []
+        for t in batch:
+            if getattr(t, "edge_is_marker", False):
+                markers.append(t)
+                continue
+            if t.edge not in final:
+                order.append(t.edge)
+            final[t.edge] = t
+        inserts = [e for e in order if final[e].op == "+"]
+        deletes = [e for e in order if final[e].op == "-"]
+        if inserts or deletes:
+            self.impl.apply_batch(insertions=inserts, deletions=deletes)
+            self.batches_applied += 1
+        applied_in = getattr(self.impl, "batch_number", self.batches_applied)
+        for t in batch:
+            if not getattr(t, "edge_is_marker", False):
+                t.applied_in_batch = applied_in
+                self.updates_applied += 1
+            t._event.set()

@@ -1,0 +1,122 @@
+"""The ``Executor`` abstraction behind the PLDS's per-level parallel rounds.
+
+The PLDS processes each level as a *round*: a set of vertices that all move
+"simultaneously".  Within a round the moves commute (they are applied to
+disjoint vertices and the bookkeeping update rules are order-independent, see
+:class:`repro.lds.bookkeeping.LevelState`), so the executor is free to run
+them in any order or interleaving.  Three substrates implement the protocol:
+
+* :class:`SequentialExecutor` — applies the round in submission order.
+  The default and the reference semantics.
+* :class:`ThreadedExecutor` — fans a round out over a thread pool.  Under the
+  GIL this cannot yield speedup, but it exercises the code under real
+  preemption and is useful for stress tests.
+* :class:`repro.runtime.sim.SimExecutor` — charges virtual time for a round
+  as ``ceil(len(round)/P) × cost`` on a simulated P-core machine; this is how
+  the Fig 7 scalability experiment models core counts.
+
+Executors also count rounds and items so benches can report span/work-style
+statistics.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class RoundStats:
+    """Work/span accounting across all rounds an executor has run."""
+
+    rounds: int = 0
+    items: int = 0
+    max_round: int = 0
+    #: Histogram-ish record of round sizes (kept small: just the sizes list
+    #: when telemetry is enabled).
+    sizes: list[int] = field(default_factory=list)
+    record_sizes: bool = False
+
+    def note(self, size: int) -> None:
+        self.rounds += 1
+        self.items += size
+        if size > self.max_round:
+            self.max_round = size
+        if self.record_sizes:
+            self.sizes.append(size)
+
+    def reset(self) -> None:
+        self.rounds = 0
+        self.items = 0
+        self.max_round = 0
+        self.sizes.clear()
+
+
+class Executor(Protocol):
+    """Runs one parallel round of independent per-item work."""
+
+    stats: RoundStats
+
+    def run_round(self, fn: Callable[[T], None], items: Sequence[T]) -> None:
+        """Apply ``fn`` to every item; returns when the whole round is done."""
+        ...
+
+
+class SequentialExecutor:
+    """Reference executor: applies each round in submission order."""
+
+    def __init__(self) -> None:
+        self.stats = RoundStats()
+
+    def run_round(self, fn: Callable[[T], None], items: Sequence[T]) -> None:
+        self.stats.note(len(items))
+        for item in items:
+            fn(item)
+
+
+class ThreadedExecutor:
+    """Fans rounds out over ``num_threads`` OS threads (chunked).
+
+    The round barrier (all items done before returning) mirrors the paper's
+    synchronous update processes.  Note the GIL caveat in the module
+    docstring: use this for preemption stress, not for speedup.
+    """
+
+    def __init__(self, num_threads: int = 4) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self.stats = RoundStats()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=num_threads, thread_name_prefix="repro-update"
+        )
+
+    def run_round(self, fn: Callable[[T], None], items: Sequence[T]) -> None:
+        self.stats.note(len(items))
+        if len(items) <= 1 or self.num_threads == 1:
+            for item in items:
+                fn(item)
+            return
+        chunk = max(1, len(items) // self.num_threads)
+        chunks = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+
+        def run_chunk(part: Sequence[T]) -> None:
+            for item in part:
+                fn(item)
+
+        futures = [self._pool.submit(run_chunk, part) for part in chunks]
+        for fut in futures:
+            fut.result()  # re-raise worker exceptions at the barrier
+
+    def shutdown(self) -> None:
+        """Release the pool's threads (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

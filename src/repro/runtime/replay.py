@@ -1,0 +1,152 @@
+"""Timestamped trace replay with visibility-lag measurement.
+
+The paper's motivation is freshness: reads should observe recent updates
+without waiting for batch machinery.  This module measures exactly that.
+A trace is a sequence of timestamped update events; the replay engine feeds
+them through a :class:`~repro.runtime.coordinator.BatchCoordinator` at
+(scaled) trace speed and records each update's **visibility lag** — wall
+time from its trace arrival to the completion of the batch that applied it
+(the moment it becomes observable to the asynchronous readers).
+
+This is the end-to-end staleness a product team would put on a dashboard,
+and it composes three layers of the library: the coordinator (batching
+policy), the CPLDS (read path), and the stats helpers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.coordinator import BatchCoordinator
+from repro.types import Edge
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped update in a trace."""
+
+    at: float  # seconds from trace start
+    op: Literal["+", "-"]
+    edge: Edge
+
+
+def synthesize_trace(
+    edges: Sequence[Edge],
+    *,
+    rate: float,
+    delete_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[TraceEvent]:
+    """Poisson-arrival trace: insertions at ``rate`` events/sec, followed by
+    a deletion wave over ``delete_fraction`` of the edges."""
+    if rate <= 0:
+        raise WorkloadError("rate must be positive")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise WorkloadError("delete_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=len(edges))
+    times = np.cumsum(gaps)
+    events = [
+        TraceEvent(at=float(t), op="+", edge=e) for t, e in zip(times, edges)
+    ]
+    num_del = int(len(edges) * delete_fraction)
+    if num_del and len(events):
+        del_gaps = rng.exponential(1.0 / rate, size=num_del)
+        del_times = float(times[-1]) + np.cumsum(del_gaps)
+        picks = rng.choice(len(edges), size=num_del, replace=False)
+        events.extend(
+            TraceEvent(at=float(t), op="-", edge=edges[int(i)])
+            for t, i in zip(del_times, picks)
+        )
+    return events
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one trace replay."""
+
+    events: int
+    duration: float  # wall seconds
+    batches: int
+    visibility_lags: list[float] = field(default_factory=list)
+
+    @property
+    def lag_stats(self):
+        """Visibility-lag aggregate (a
+        :class:`~repro.harness.stats.LatencyStats`)."""
+        # Imported lazily: the runtime package must not pull in the harness
+        # at init time (repro.lds.plds -> repro.runtime would cycle back
+        # through repro.harness -> repro.core).
+        from repro.harness.stats import LatencyStats
+
+        return LatencyStats.from_samples(self.visibility_lags)
+
+    @property
+    def throughput(self) -> float:
+        """Applied events per wall second."""
+        return self.events / self.duration if self.duration > 0 else 0.0
+
+
+def replay_trace(
+    impl,
+    trace: Iterable[TraceEvent],
+    *,
+    speed: float = 1.0,
+    max_batch: int = 512,
+    max_delay: float = 0.005,
+) -> ReplayReport:
+    """Feed ``trace`` through a coordinator at ``speed``× trace time.
+
+    Visibility lag per event = wall time from its (paced) submission to the
+    completion of the batch that applied it, captured on the coordinator's
+    update thread itself.
+    """
+    if speed <= 0:
+        raise WorkloadError("speed must be positive")
+    events = sorted(trace, key=lambda e: e.at)
+    report = ReplayReport(events=len(events), duration=0.0, batches=0)
+    if not events:
+        return report
+
+    coord = BatchCoordinator(impl, max_batch=max_batch, max_delay=max_delay)
+    completions: dict[int, float] = {}
+    original_apply = coord._apply
+
+    def timed_apply(batch):
+        original_apply(batch)
+        now = time.perf_counter()
+        for t in batch:
+            completions[id(t)] = now
+
+    coord._apply = timed_apply  # type: ignore[method-assign]
+
+    start = time.perf_counter()
+    arrivals: list[tuple[float, object]] = []
+    try:
+        for ev in events:
+            target = start + ev.at / speed
+            now = time.perf_counter()
+            if target > now:
+                time.sleep(target - now)
+            arrival = time.perf_counter()
+            ticket = (
+                coord.submit_insert(*ev.edge)
+                if ev.op == "+"
+                else coord.submit_delete(*ev.edge)
+            )
+            arrivals.append((arrival, ticket))
+        coord.flush()
+    finally:
+        coord.close()
+    report.duration = time.perf_counter() - start
+    report.batches = coord.batches_applied
+    for arrival, ticket in arrivals:
+        done_at = completions.get(id(ticket))
+        if done_at is not None:
+            report.visibility_lags.append(max(0.0, done_at - arrival))
+    return report

@@ -1,0 +1,303 @@
+"""Virtual-time machine: deterministic scalability simulation (Fig 7).
+
+The machine executes a real batch stream against a real implementation (so
+every level change and descriptor is genuine), while *time* is virtual: an
+instrumented executor and hook ledger count the parallel rounds each batch
+performs, and :class:`~repro.runtime.simcost.BatchLedger` converts the counts
+into a duration on a ``W``-core modeled machine.  Reader processes run on
+their own modeled cores (the paper pins each thread to its own core) at the
+per-read cost of their implementation kind.
+
+This reproduces the Fig 7 quantities:
+
+* **write throughput** — edges applied per virtual second as ``W`` grows,
+  with the CPLDS paying the marking overhead on top of NonSync's update path
+  and SyncReads additionally folding read execution into its denominator;
+* **read throughput** — reads per virtual second as the reader count grows,
+  with the CPLDS paying the descriptor-check overhead per read and SyncReads
+  capped by batch duration (reads only execute at batch boundaries).
+
+Everything is exactly reproducible: no wall clock is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.lds.plds import Phase, UpdateHooks
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.inject import HookChain
+from repro.runtime.simcost import BatchLedger, CostModel
+from repro.types import Edge
+from repro.workloads.batches import Batch, BatchStream
+
+
+class _LedgerExecutor:
+    """Executor wrapper crediting every parallel round to the ledger."""
+
+    def __init__(self, inner, session: "SimSession") -> None:
+        self.inner = inner
+        self.session = session
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def run_round(self, fn, items) -> None:
+        ledger = self.session.current_ledger
+        if ledger is not None and len(items):
+            ledger.decision_rounds.append(len(items))
+        self.inner.run_round(fn, items)
+
+
+class _LedgerHooks(UpdateHooks):
+    """Hook stream counting edges, movers-per-round and phase kind."""
+
+    def __init__(self, session: "SimSession") -> None:
+        self.session = session
+        self._movers_this_round = 0
+
+    def batch_begin(self, kind: Phase, edges: Sequence[Edge]) -> None:
+        ledger = self.session.current_ledger
+        if ledger is not None:
+            ledger.kind = kind
+            ledger.edges += len(edges)
+        self._movers_this_round = 0
+
+    def before_move(self, v: int, old: int, new: int, phase: Phase) -> None:
+        self._movers_this_round += 1
+
+    def round_boundary(self) -> None:
+        ledger = self.session.current_ledger
+        if ledger is not None and self._movers_this_round:
+            ledger.move_rounds.append(self._movers_this_round)
+        self._movers_this_round = 0
+
+    def batch_end(self) -> None:
+        ledger = self.session.current_ledger
+        if ledger is not None and self._movers_this_round:
+            ledger.move_rounds.append(self._movers_this_round)
+        self._movers_this_round = 0
+
+
+@dataclass
+class SimBatchResult:
+    """One batch's virtual execution."""
+
+    ledger: BatchLedger
+    duration: float  # virtual ticks on the session's update cores
+    start: float
+    end: float
+
+
+@dataclass
+class SimSessionResult:
+    """Virtual-time session outcome."""
+
+    impl_kind: str
+    num_update_cores: int
+    num_readers: int
+    #: Per-read execution cost of this session's cost model (ticks).
+    read_exec_cost: float = 1.0
+    batches: list[SimBatchResult] = field(default_factory=list)
+    #: Completed reads per reader over the whole session.
+    reads_per_reader: list[int] = field(default_factory=list)
+    #: Latency samples (virtual ticks).  For CPLDS/NonSync this is the
+    #: constant service time; for SyncReads it includes batch waiting.
+    read_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def total_write_time(self) -> float:
+        return sum(b.duration for b in self.batches)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads_per_reader)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(b.ledger.edges for b in self.batches)
+
+    def write_throughput(self) -> float:
+        """Edges per virtual tick, per the paper's definitions.
+
+        SyncReads folds the synchronous read-execution time into the
+        denominator (§7): reads generated during each batch execute at batch
+        end before updates may continue.
+        """
+        t = self.total_write_time
+        if self.impl_kind == "syncreads":
+            t += self._syncreads_read_time()
+        return self.total_edges / t if t > 0 else 0.0
+
+    def read_throughput(self) -> float:
+        """Reads per virtual tick (reads / total write time; for SyncReads,
+        reads / (write + read) time — §7)."""
+        t = self.total_write_time
+        if self.impl_kind == "syncreads":
+            t += self._syncreads_read_time()
+        return self.total_reads / t if t > 0 else 0.0
+
+    def _syncreads_read_time(self) -> float:
+        # Reads execute serially at batch end on the read cores.
+        return self.total_reads * self.read_exec_cost / max(self.num_readers, 1)
+
+
+class SimSession:
+    """Drive one implementation over a batch stream in virtual time.
+
+    Parameters
+    ----------
+    impl:
+        A CPLDS / NonSyncKCore / SyncReadsKCore instance (fresh).
+    impl_kind:
+        ``"cplds"``, ``"nonsync"`` or ``"syncreads"`` — selects read costing.
+    num_update_cores / num_readers:
+        The modeled machine.
+    cost:
+        The :class:`CostModel`.
+    """
+
+    def __init__(
+        self,
+        impl,
+        impl_kind: str,
+        *,
+        num_update_cores: int = 15,
+        num_readers: int = 15,
+        cost: CostModel | None = None,
+    ) -> None:
+        if impl_kind not in ("cplds", "nonsync", "syncreads"):
+            raise ValueError(f"unknown impl kind {impl_kind!r}")
+        self.impl = impl
+        self.impl_kind = impl_kind
+        self.num_update_cores = num_update_cores
+        self.num_readers = num_readers
+        self.cost = cost if cost is not None else CostModel()
+        self.current_ledger: BatchLedger | None = None
+        # Instrument the implementation's PLDS.
+        plds = impl.plds
+        plds.executor = _LedgerExecutor(SequentialExecutor(), self)
+        plds.hooks = HookChain(plds.hooks, _LedgerHooks(self))
+
+    def run(self, stream: BatchStream | Sequence[Batch]) -> SimSessionResult:
+        result = SimSessionResult(
+            impl_kind=self.impl_kind,
+            num_update_cores=self.num_update_cores,
+            num_readers=self.num_readers,
+            read_exec_cost=self.cost.read_base,
+        )
+        clock = 0.0
+        read_cost = self.cost.read_cost(self.impl_kind)
+        reads_per_reader = [0] * self.num_readers
+        for batch in stream:
+            ledger = BatchLedger()
+            self.current_ledger = ledger
+            if batch.kind == "insert":
+                self.impl.insert_batch(batch.edges)
+            else:
+                self.impl.delete_batch(batch.edges)
+            if self.impl_kind == "cplds":
+                ledger.marked = getattr(self.impl, "last_batch_marked", 0)
+            self.current_ledger = None
+            duration = ledger.virtual_duration(self.num_update_cores, self.cost)
+            result.batches.append(
+                SimBatchResult(
+                    ledger=ledger,
+                    duration=duration,
+                    start=clock,
+                    end=clock + duration,
+                )
+            )
+            # Readers run for the batch duration on their own cores.
+            self._account_reads(
+                result, reads_per_reader, duration, read_cost
+            )
+            clock += duration
+        result.reads_per_reader = reads_per_reader
+        return result
+
+    def _account_reads(
+        self,
+        result: SimSessionResult,
+        reads_per_reader: list[int],
+        duration: float,
+        read_cost: float,
+    ) -> None:
+        if self.num_readers == 0 or duration <= 0:
+            return
+        if self.impl_kind in ("cplds", "nonsync"):
+            per_reader = int(duration // read_cost)
+            for i in range(self.num_readers):
+                reads_per_reader[i] += per_reader
+            # Cap retained latency samples; they are all the constant
+            # service time for these kinds.
+            want = min(per_reader * self.num_readers, 10_000)
+            result.read_latencies.extend([read_cost] * want)
+        else:
+            # SyncReads: reads *generated* during the batch (at the NonSync
+            # generation rate) wait for batch end, then execute serially.
+            gen_interval = self.cost.read_base
+            per_reader = int(duration // gen_interval)
+            for i in range(self.num_readers):
+                reads_per_reader[i] += per_reader
+            base = self.cost.read_base
+            for k in range(min(per_reader, 2_000)):
+                gen_time = (k + 1) * gen_interval
+                wait = duration - gen_time
+                # Queueing at batch end: the k-th read in a reader's queue
+                # executes after k earlier reads.
+                result.read_latencies.append(wait + (k + 1) * base)
+
+
+def sweep_reader_scalability(
+    impl_factory: Callable[[], object],
+    impl_kind: str,
+    stream_factory: Callable[[], BatchStream],
+    reader_counts: Sequence[int],
+    *,
+    num_update_cores: int = 15,
+    cost: CostModel | None = None,
+) -> dict[int, SimSessionResult]:
+    """Fig 7 (read side): re-run the stream for each reader count."""
+    out: dict[int, SimSessionResult] = {}
+    for r in reader_counts:
+        session = SimSession(
+            impl_factory(),
+            impl_kind,
+            num_update_cores=num_update_cores,
+            num_readers=r,
+            cost=cost,
+        )
+        out[r] = session.run(stream_factory())
+    return out
+
+
+def sweep_writer_scalability(
+    impl_factory: Callable[[], object],
+    impl_kind: str,
+    stream_factory: Callable[[], BatchStream],
+    core_counts: Sequence[int],
+    *,
+    num_readers: int = 15,
+    cost: CostModel | None = None,
+) -> dict[int, SimSessionResult]:
+    """Fig 7 (write side): re-run the stream for each update-core count."""
+    out: dict[int, SimSessionResult] = {}
+    for w in core_counts:
+        session = SimSession(
+            impl_factory(),
+            impl_kind,
+            num_update_cores=w,
+            num_readers=num_readers,
+            cost=cost,
+        )
+        out[w] = session.run(stream_factory())
+    return out
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division (exposed for the cost-model tests)."""
+    return -(-a // b) if b else math.inf  # type: ignore[return-value]

@@ -1,0 +1,96 @@
+"""Cost model for the virtual-time machine.
+
+The GIL makes real multi-core scaling unobservable in CPython, so the Fig 7
+scalability experiment runs on a modeled machine instead (DESIGN.md
+substitution table).  The model is deliberately simple and standard — Brent's
+law over the PLDS's parallel rounds:
+
+* a parallel round of ``k`` independent work items on ``W`` cores takes
+  ``ceil(k / W)`` item-times (work / cores, floored by the span);
+* a batch's virtual duration is the sum of its rounds' times plus the
+  edge-application and (un)marking terms;
+* a read costs a constant depending on the implementation: NonSync pays one
+  level load; the CPLDS additionally pays the descriptor check and DAG
+  traversal (the paper measures this overhead at ≤ 2–3×).
+
+All constants are in abstract "ticks"; only ratios matter for the shapes the
+reproduction checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tick costs for every modeled operation."""
+
+    #: Applying one edge update to the graph + counters.
+    edge_apply: float = 1.0
+    #: One invariant/desire-level decision inside a parallel round.
+    decision: float = 1.0
+    #: One vertex level move (bookkeeping scan of its neighbourhood).
+    move: float = 3.0
+    #: Creating one operation descriptor + DAG merge (CPLDS only).
+    mark: float = 2.0
+    #: Clearing one descriptor at batch end (CPLDS only).
+    unmark: float = 0.5
+    #: One NonSync read (a level load + estimate).
+    read_base: float = 1.0
+    #: Extra cost of a CPLDS read (descriptor load + check_DAG).
+    read_dag: float = 1.0
+
+    def read_cost(self, impl_kind: str) -> float:
+        """Per-read cost for ``impl_kind`` in {'cplds', 'nonsync', 'syncreads'}.
+
+        SyncReads' *execution* cost equals NonSync's (it reads a live level);
+        its latency is dominated by waiting for the batch, which the machine
+        models separately.
+        """
+        if impl_kind == "cplds":
+            return self.read_base + self.read_dag
+        if impl_kind in ("nonsync", "syncreads"):
+            return self.read_base
+        raise ValueError(f"unknown impl kind {impl_kind!r}")
+
+
+@dataclass
+class BatchLedger:
+    """Work counts of one executed batch, filled in by the instrumentation."""
+
+    kind: str = "insert"
+    edges: int = 0
+    #: Sizes of the read-only decision rounds (invariant checks, desire
+    #: levels, unmark classification/clears) run through the executor.
+    decision_rounds: list[int] = field(default_factory=list)
+    #: Movers per mutation round.
+    move_rounds: list[int] = field(default_factory=list)
+    #: Vertices marked (CPLDS only; 0 elsewhere).
+    marked: int = 0
+
+    def virtual_duration(self, num_cores: int, cost: CostModel) -> float:
+        """Brent's-law duration of this batch on ``num_cores`` update cores."""
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        ticks = math.ceil(self.edges / num_cores) * cost.edge_apply
+        for k in self.decision_rounds:
+            ticks += math.ceil(k / num_cores) * cost.decision
+        for k in self.move_rounds:
+            ticks += math.ceil(k / num_cores) * cost.move
+        if self.marked:
+            ticks += math.ceil(self.marked / num_cores) * (
+                cost.mark + cost.unmark
+            )
+        return float(ticks)
+
+    @property
+    def total_work(self) -> float:
+        """Single-core work (the ``num_cores=1`` duration, cost-weighted)."""
+        return self.virtual_duration(1, CostModel())
+
+    @property
+    def span_rounds(self) -> int:
+        """Number of sequential rounds (the parallel depth of the batch)."""
+        return 1 + len(self.decision_rounds) + len(self.move_rounds)

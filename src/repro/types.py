@@ -1,0 +1,72 @@
+"""Shared type aliases and light-weight protocols used across the library.
+
+Centralising these keeps signatures consistent between the graph substrate,
+the level data structures, and the harness, and gives downstream users a
+single import point for the vocabulary types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, Tuple, runtime_checkable
+
+#: A vertex identifier: an integer in ``[0, num_vertices)``.
+Vertex = int
+
+#: An undirected edge as an (unordered) pair of vertex ids.
+Edge = Tuple[Vertex, Vertex]
+
+#: A batch of edges, e.g. an insertion or deletion batch.
+EdgeBatch = Sequence[Edge]
+
+#: A level index inside a level data structure.
+Level = int
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical ``(min, max)`` representation of an edge.
+
+    The library treats edges as unordered pairs; every structure that stores
+    edges keys them by this canonical form.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+def canonicalize_batch(edges: Iterable[Edge]) -> list[Edge]:
+    """Canonicalise and de-duplicate a batch while preserving first-seen order.
+
+    Duplicate edges inside a single batch are collapsed: applying the same
+    insertion (or deletion) twice within one batch is a no-op in every
+    algorithm in this library, mirroring the pre-processing performed by the
+    paper's batch-dynamic framework.
+    """
+    seen: set[Edge] = set()
+    out: list[Edge] = []
+    for u, v in edges:
+        e = canonical_edge(u, v)
+        if e not in seen:
+            seen.add(e)
+            out.append(e)
+    return out
+
+
+@runtime_checkable
+class CorenessReader(Protocol):
+    """Anything that can answer per-vertex coreness-estimate queries.
+
+    Implemented by :class:`repro.core.cplds.CPLDS` and both baselines in
+    :mod:`repro.core.baselines`; the harness and the examples program against
+    this protocol so implementations are interchangeable.
+    """
+
+    def read(self, v: Vertex) -> float:
+        """Return the current coreness estimate of ``v``."""
+        ...
+
+
+@runtime_checkable
+class BatchUpdatable(Protocol):
+    """Anything that accepts batches of edge insertions and deletions."""
+
+    def insert_batch(self, edges: EdgeBatch) -> None: ...
+
+    def delete_batch(self, edges: EdgeBatch) -> None: ...

@@ -1,0 +1,25 @@
+"""Union-find substrates.
+
+The CPLDS merges dependency DAGs with the same mechanics as concurrent
+union-find (the paper reuses the Jayanti–Tarjan-style implementation from
+ConnectIt).  This package provides:
+
+* :mod:`repro.unionfind.atomics` — CAS cells standing in for hardware
+  compare-and-swap (see DESIGN.md substitution table);
+* :mod:`repro.unionfind.sequential` — the classic array-based structure with
+  path compression (reference semantics and a baseline);
+* :mod:`repro.unionfind.concurrent` — a CAS-loop union-find safe under
+  concurrent ``union``/``find`` callers, with deterministic min-id roots,
+  exactly the linking discipline the CPLDS descriptor DAGs use.
+"""
+
+from repro.unionfind.atomics import AtomicCell, AtomicCounter
+from repro.unionfind.sequential import SequentialUnionFind
+from repro.unionfind.concurrent import ConcurrentUnionFind
+
+__all__ = [
+    "AtomicCell",
+    "AtomicCounter",
+    "SequentialUnionFind",
+    "ConcurrentUnionFind",
+]

@@ -1,0 +1,71 @@
+"""Classic sequential union-find with path compression.
+
+Reference semantics for the concurrent variant's tests, and the "sole root is
+the smallest id" linking discipline the CPLDS dependency DAGs rely on: with
+deterministic linking, the representative of a set is reproducible across
+runs, which keeps the whole experiment harness deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SequentialUnionFind:
+    """Array-based union-find over elements ``0..n-1``.
+
+    Linking is *by minimum id* (the smaller root becomes the representative)
+    rather than by rank: deterministic representatives matter more to this
+    library than the last log factor, and with path compression the observed
+    depth stays tiny at our scales.
+
+    >>> uf = SequentialUnionFind(4)
+    >>> uf.union(2, 3)
+    2
+    >>> uf.find(3)
+    2
+    >>> uf.same_set(0, 3)
+    False
+    """
+
+    __slots__ = ("parent", "_num_sets")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.parent = list(range(n))
+        self._num_sets = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set, with full path compression."""
+        root = x
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        winner, loser = (ra, rb) if ra < rb else (rb, ra)
+        self.parent[loser] = winner
+        self._num_sets -= 1
+        return winner
+
+    def same_set(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets remaining."""
+        return self._num_sets
+
+    def sets(self) -> dict[int, list[int]]:
+        """All sets as ``{representative: sorted members}`` (diagnostics)."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self.parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

@@ -1,0 +1,143 @@
+"""Union-find strategy variants (the ConnectIt design space).
+
+The paper reuses "the union implementation described in [Jayanti–Tarjan]
+and implemented in [ConnectIt]"; ConnectIt itself is a *framework* of find
+and compaction strategies.  This module reproduces the relevant slice of
+that design space so the choice the CPLDS depends on can be studied:
+
+* **find strategies** — ``naive`` (no writes), ``compress`` (full path
+  compression), ``split`` (path splitting: every node re-points to its
+  grandparent), ``halve`` (path halving: every other node re-points);
+* **link strategy** — deterministic min-id linking with a CAS loop, as in
+  :class:`~repro.unionfind.concurrent.ConcurrentUnionFind` (kept fixed:
+  deterministic roots are what the descriptor DAGs need).
+
+All variants are interchangeable semantically (same partition, same
+representatives); they differ in pointer-chase length and write traffic,
+which ``benchmarks/bench_unionfind.py`` measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from repro.unionfind.atomics import stripe_lock_for
+
+FindStrategy = Literal["naive", "compress", "split", "halve"]
+
+FIND_STRATEGIES: tuple[FindStrategy, ...] = ("naive", "compress", "split", "halve")
+
+
+class VariantUnionFind:
+    """Concurrent-discipline union-find with a pluggable find strategy.
+
+    >>> uf = VariantUnionFind(4, find_strategy="halve")
+    >>> uf.union(3, 1)
+    1
+    >>> uf.find(3)
+    1
+    """
+
+    __slots__ = ("parent", "find_strategy", "_find", "pointer_hops")
+
+    def __init__(self, n: int, find_strategy: FindStrategy = "compress") -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if find_strategy not in FIND_STRATEGIES:
+            raise ValueError(
+                f"unknown find strategy {find_strategy!r}; "
+                f"choose from {FIND_STRATEGIES}"
+            )
+        self.parent = list(range(n))
+        self.find_strategy = find_strategy
+        self._find: Callable[[int], int] = getattr(self, f"_find_{find_strategy}")
+        #: Total parent-pointer dereferences (work metric for the bench).
+        self.pointer_hops = 0
+
+    # ------------------------------------------------------------------
+    def _cas_parent(self, x: int, expected: int, new: int) -> bool:
+        with stripe_lock_for(x):
+            if self.parent[x] == expected:
+                self.parent[x] = new
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Find variants
+    # ------------------------------------------------------------------
+    def _find_naive(self, x: int) -> int:
+        parent = self.parent
+        while True:
+            p = parent[x]
+            self.pointer_hops += 1
+            if p == x:
+                return x
+            x = p
+
+    def _find_compress(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while True:
+            p = parent[root]
+            self.pointer_hops += 1
+            if p == root:
+                break
+            root = p
+        node = x
+        while node != root:
+            p = parent[node]
+            if p == root:
+                break
+            self._cas_parent(node, p, root)
+            node = p
+        return root
+
+    def _find_split(self, x: int) -> int:
+        """Path splitting: point every traversed node at its grandparent."""
+        parent = self.parent
+        while True:
+            p = parent[x]
+            self.pointer_hops += 1
+            if p == x:
+                return x
+            gp = parent[p]
+            if gp != p:
+                self._cas_parent(x, p, gp)
+            x = p
+
+    def _find_halve(self, x: int) -> int:
+        """Path halving: like splitting, but hop to the grandparent."""
+        parent = self.parent
+        while True:
+            p = parent[x]
+            self.pointer_hops += 1
+            if p == x:
+                return x
+            gp = parent[p]
+            if gp == p:
+                return p
+            self._cas_parent(x, p, gp)
+            x = gp
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def find(self, x: int) -> int:
+        """Current representative of ``x`` under the configured strategy."""
+        return self._find(x)
+
+    def union(self, a: int, b: int) -> int:
+        """CAS-loop min-id union (identical across variants)."""
+        while True:
+            ra, rb = self._find(a), self._find(b)
+            if ra == rb:
+                return ra
+            winner, loser = (ra, rb) if ra < rb else (rb, ra)
+            if self._cas_parent(loser, loser, winner):
+                return winner
+
+    def same_set(self, a: int, b: int) -> bool:
+        return self._find(a) == self._find(b)
+
+    def roots(self) -> list[int]:
+        return [x for x in range(len(self.parent)) if self.parent[x] == x]

@@ -1,0 +1,36 @@
+"""Verification: operation histories, linearizability checking, error metrics.
+
+The paper's safety claim is linearizability of reads concurrent with update
+batches (§6.1).  This package records histories of concurrent executions
+(:mod:`repro.verify.history`) and checks them against the three structural
+rules that linearizability implies for this object
+(:mod:`repro.verify.linearizability`); the rules are conservative —
+violations reported are real, some exotic violations may be missed — see
+DESIGN.md.  :mod:`repro.verify.approximation` measures coreness-estimate
+error against exact ground truth, powering the Fig 6 reproduction.
+"""
+
+from repro.verify.history import (
+    BatchRecord,
+    History,
+    LogicalClock,
+    ReadRecord,
+    RecordedKCore,
+)
+from repro.verify.linearizability import LinearizabilityChecker, Violation
+from repro.verify.liveness import LivenessReport, analyze_stepped
+from repro.verify.monitor import InvariantMonitor, attach_monitor
+
+__all__ = [
+    "BatchRecord",
+    "History",
+    "LogicalClock",
+    "ReadRecord",
+    "RecordedKCore",
+    "LinearizabilityChecker",
+    "Violation",
+    "LivenessReport",
+    "analyze_stepped",
+    "InvariantMonitor",
+    "attach_monitor",
+]

@@ -1,0 +1,99 @@
+"""Approximation-error measurement against exact coreness (Fig 6 machinery).
+
+The paper evaluates a read's error against the exact coreness at the *nearer*
+batch boundary: "our reads are guaranteed to be linearizable to either the
+beginning of the batch or the end of the batch.  Since it is difficult to
+know whether the read linearized to the beginning or the end of the batch, we
+take the minimum of the two errors."  :func:`read_error` implements exactly
+that; :class:`BoundaryOracle` precomputes exact corenesses at every batch
+boundary by replaying the edge stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exact import core_decomposition
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.lds.coreness import approximation_factor
+from repro.types import Edge, Vertex
+
+
+class BoundaryOracle:
+    """Exact coreness of every vertex at every batch boundary.
+
+    Boundary ``0`` is the state before the first batch; boundary ``i`` the
+    state after batch ``i`` (1-based), obtained by replaying the batches onto
+    a private graph.
+    """
+
+    def __init__(self, num_vertices: int, initial_edges: Sequence[Edge] = ()) -> None:
+        self._graph = DynamicGraph(num_vertices, initial_edges)
+        self._cores: list[np.ndarray] = [core_decomposition(self._graph)]
+
+    def push_batch(self, kind: str, edges: Sequence[Edge]) -> None:
+        """Replay one batch and record the new exact decomposition."""
+        if kind == "insert":
+            self._graph.insert_batch(edges)
+        elif kind == "delete":
+            self._graph.delete_batch(edges)
+        else:
+            raise ValueError(f"unknown batch kind {kind!r}")
+        self._cores.append(core_decomposition(self._graph))
+
+    @property
+    def num_boundaries(self) -> int:
+        return len(self._cores)
+
+    def coreness_at(self, boundary: int, v: Vertex) -> int:
+        """Exact coreness of ``v`` at ``boundary`` (0 = before first batch)."""
+        return int(self._cores[boundary][v])
+
+    def cores_at(self, boundary: int) -> np.ndarray:
+        return self._cores[boundary]
+
+
+def read_error(
+    oracle: BoundaryOracle, batch: int, v: Vertex, estimate: float
+) -> float:
+    """Error factor of one read that linearized inside batch ``batch``.
+
+    Per the paper, the minimum of the errors against the boundary before and
+    the boundary after the batch; vertices coreless at both boundaries
+    contribute a neutral 1.0 (see :func:`approximation_factor`).
+    """
+    before = max(0, min(batch - 1, oracle.num_boundaries - 1))
+    after = max(0, min(batch, oracle.num_boundaries - 1))
+    err_before = approximation_factor(estimate, oracle.coreness_at(before, v))
+    err_after = approximation_factor(estimate, oracle.coreness_at(after, v))
+    return min(err_before, err_after)
+
+
+@dataclass
+class ErrorStats:
+    """Aggregate error statistics over a set of reads."""
+
+    count: int = 0
+    total: float = 0.0
+    worst: float = 1.0
+
+    def add(self, err: float) -> None:
+        self.count += 1
+        self.total += err
+        if err > self.worst:
+            self.worst = err
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 1.0
+
+    def merge(self, other: "ErrorStats") -> "ErrorStats":
+        out = ErrorStats(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            worst=max(self.worst, other.worst),
+        )
+        return out

@@ -1,0 +1,200 @@
+"""Operation-history recording for concurrent executions.
+
+Events are timestamped with a :class:`LogicalClock` — an atomic counter whose
+ticks embed into real time (each tick is taken at a single instant), so
+"response before invocation" comparisons between operations are exactly the
+real-time order linearizability constrains.
+
+A :class:`RecordedKCore` wraps any k-core implementation exposing the common
+read/update surface and records:
+
+* one :class:`ReadRecord` per read: invocation tick, response tick, the
+  *level* the estimate was computed from, and which batch it claimed;
+* one :class:`BatchRecord` per batch: start/end ticks, the post-batch level
+  snapshot, which vertices changed level, and (when the implementation
+  tracks them, as the CPLDS does) the dependency-DAG partition of the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import HistoryError
+from repro.types import Edge, Vertex
+
+
+class LogicalClock:
+    """A shared monotonic tick counter; each tick is atomic in real time."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def tick(self) -> int:
+        """Take the next tick (thread-safe)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def now(self) -> int:
+        """The latest tick taken (no new tick)."""
+        return self._value
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One completed read operation."""
+
+    vertex: Vertex
+    invoked: int
+    responded: int
+    level: int
+    from_descriptor: bool
+    #: The implementation's claimed batch (diagnostics only).
+    batch: int
+
+    def __post_init__(self) -> None:
+        if self.responded < self.invoked:
+            raise HistoryError(
+                f"read of {self.vertex} responded at {self.responded} before "
+                f"invocation at {self.invoked}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One completed update batch."""
+
+    index: int
+    kind: str
+    started: int
+    ended: int
+    #: Level of every vertex after this batch completed.
+    levels_after: tuple[int, ...]
+    #: Vertices whose level changed during this batch.
+    changed: frozenset[Vertex]
+    #: Dependency-DAG partition: vertex -> DAG root (empty if untracked).
+    dag_of: dict[Vertex, Vertex] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ended < self.started:
+            raise HistoryError(
+                f"batch {self.index} ended at {self.ended} before start "
+                f"{self.started}"
+            )
+
+
+@dataclass
+class History:
+    """A full recorded execution: initial levels, batches, reads."""
+
+    initial_levels: tuple[int, ...]
+    batches: list[BatchRecord] = field(default_factory=list)
+    reads: list[ReadRecord] = field(default_factory=list)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.initial_levels)
+
+    def level_versions(self, v: Vertex) -> list[tuple[int, int]]:
+        """``(batch_index, level)`` pairs at which ``v``'s level changed.
+
+        Entry ``(0, L)`` is the initial level (batch index 0 means "before
+        any recorded batch"); subsequent entries carry 1-based batch indexes.
+        """
+        versions = [(0, self.initial_levels[v])]
+        for b in self.batches:
+            lvl = b.levels_after[v]
+            if lvl != versions[-1][1]:
+                versions.append((b.index, lvl))
+        return versions
+
+
+class RecordedKCore:
+    """Wrap a k-core implementation, recording every read and batch.
+
+    The wrapper is transparent: reads return exactly what the wrapped
+    implementation returns.  Reads may be issued from any thread; batches
+    must come from the single update thread (matching the library's
+    single-writer model).
+    """
+
+    def __init__(self, impl, clock: Optional[LogicalClock] = None) -> None:
+        self.impl = impl
+        self.clock = clock if clock is not None else LogicalClock()
+        levels = tuple(impl.levels())
+        self.history = History(initial_levels=levels)
+        self._last_levels = list(levels)
+        self._batch_index = 0
+        self._reads_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, v: Vertex) -> float:
+        invoked = self.clock.tick()
+        result = self.impl.read_verbose(v)
+        responded = self.clock.tick()
+        rec = ReadRecord(
+            vertex=v,
+            invoked=invoked,
+            responded=responded,
+            level=result.level,
+            from_descriptor=result.from_descriptor,
+            batch=result.batch,
+        )
+        with self._reads_lock:
+            self.history.reads.append(rec)
+        return result.estimate
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        return self._run_batch("insert", list(edges))
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        return self._run_batch("delete", list(edges))
+
+    def _run_batch(self, kind: str, edges: Sequence[Edge]) -> int:
+        started = self.clock.tick()
+        if kind == "insert":
+            applied = self.impl.insert_batch(edges)
+        else:
+            applied = self.impl.delete_batch(edges)
+        levels_after = tuple(self.impl.levels())
+        ended = self.clock.tick()
+        self._batch_index += 1
+        changed = frozenset(
+            v
+            for v in range(len(levels_after))
+            if levels_after[v] != self._last_levels[v]
+        )
+        dag_of = dict(getattr(self.impl, "last_batch_dag_map", {}) or {})
+        self.history.batches.append(
+            BatchRecord(
+                index=self._batch_index,
+                kind=kind,
+                started=started,
+                ended=ended,
+                levels_after=levels_after,
+                changed=changed,
+                dag_of=dag_of,
+            )
+        )
+        self._last_levels = list(levels_after)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+    def levels(self) -> list[int]:
+        return self.impl.levels()
+
+    @property
+    def graph(self):
+        return self.impl.graph

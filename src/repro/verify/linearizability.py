@@ -1,0 +1,244 @@
+"""Linearizability checking for recorded k-core histories.
+
+General black-box linearizability checking is NP-complete, but this object
+has structure the checker exploits: per-vertex values (levels) only change
+inside known batch windows, and the batch-internal linearization points of
+all updates in one dependency DAG coincide (§6.1 of the paper).  That yields
+three *sound* rules — every reported violation is a real linearizability
+violation; conversely a pathological history could in principle slip through,
+which is why DESIGN.md calls the checker conservative:
+
+Rule A — **no intermediate values**: every read must return a level that was
+  current at some instant of the read's interval, i.e. one of the vertex's
+  batch-boundary versions whose validity window overlaps the read.  NonSync
+  fails this on any batch that cascades a vertex through intermediate levels.
+
+Rule B — **per-vertex monotonicity**: if two reads of the same vertex do not
+  overlap, the later read cannot return a strictly older version than every
+  version the earlier read could have returned.
+
+Rule C — **DAG atomicity**: all level changes in one dependency DAG linearize
+  together, so once any read has *definitely* observed a DAG's post-batch
+  value, no subsequent (non-overlapping) read may *definitely* observe
+  another member's pre-batch value.  The §4 strawman fails this under the
+  schedule built in ``tests/test_linearizability.py``.
+
+Version windows
+---------------
+A version of vertex ``v`` introduced by batch ``b`` can be observed no
+earlier than ``b``'s start tick (its LP is inside the batch window) and no
+later than the end tick of the next batch that changes ``v`` (that batch's
+LP is inside *its* window).  A read is *consistent with* a version if the
+read's interval overlaps the version's window and the read returned exactly
+that version's level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NotLinearizable
+from repro.verify.history import History, ReadRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected linearizability violation."""
+
+    rule: str  # "A", "B", or "C"
+    message: str
+    reads: tuple[ReadRecord, ...] = ()
+
+
+@dataclass
+class _AnalyzedRead:
+    record: ReadRecord
+    #: Batch indexes of the versions this read is consistent with (sorted).
+    consistent: list[int] = field(default_factory=list)
+
+    @property
+    def min_version(self) -> int:
+        return self.consistent[0]
+
+    @property
+    def max_version(self) -> int:
+        return self.consistent[-1]
+
+
+class LinearizabilityChecker:
+    """Check a :class:`~repro.verify.history.History` against rules A–C."""
+
+    def __init__(self, history: History) -> None:
+        self.history = history
+        self._batch_by_index = {b.index: b for b in history.batches}
+        self._version_cache: dict[int, list[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def violations(self) -> list[Violation]:
+        """All violations found, grouped by rule (A first)."""
+        analyzed, rule_a = self._analyze_reads()
+        out = list(rule_a)
+        out.extend(self._check_rule_b(analyzed))
+        out.extend(self._check_rule_c(analyzed))
+        return out
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.NotLinearizable` on any violation."""
+        found = self.violations()
+        if found:
+            head = found[0]
+            raise NotLinearizable(
+                f"{len(found)} violation(s); first: [rule {head.rule}] "
+                f"{head.message}"
+            )
+
+    # ------------------------------------------------------------------
+    # Version-window machinery
+    # ------------------------------------------------------------------
+    def _versions(self, v: int) -> list[tuple[int, int]]:
+        cached = self._version_cache.get(v)
+        if cached is None:
+            cached = self.history.level_versions(v)
+            self._version_cache[v] = cached
+        return cached
+
+    def _version_window(
+        self, versions: list[tuple[int, int]], i: int
+    ) -> tuple[float, float]:
+        """``[earliest, latest]`` ticks at which version ``i`` can be current."""
+        batch_idx, _level = versions[i]
+        if batch_idx == 0:
+            earliest = float("-inf")
+        else:
+            earliest = self._batch_by_index[batch_idx].started
+        if i + 1 < len(versions):
+            next_batch = versions[i + 1][0]
+            latest = self._batch_by_index[next_batch].ended
+        else:
+            latest = float("inf")
+        return earliest, latest
+
+    def _analyze_reads(self) -> tuple[list[_AnalyzedRead], list[Violation]]:
+        analyzed: list[_AnalyzedRead] = []
+        violations: list[Violation] = []
+        for rec in self.history.reads:
+            versions = self._versions(rec.vertex)
+            consistent: list[int] = []
+            for i, (batch_idx, level) in enumerate(versions):
+                if level != rec.level:
+                    continue
+                earliest, latest = self._version_window(versions, i)
+                if earliest <= rec.responded and rec.invoked <= latest:
+                    consistent.append(batch_idx)
+            if not consistent:
+                boundary_levels = sorted({lvl for _, lvl in versions})
+                violations.append(
+                    Violation(
+                        rule="A",
+                        message=(
+                            f"read of vertex {rec.vertex} over ticks "
+                            f"[{rec.invoked}, {rec.responded}] returned level "
+                            f"{rec.level}, which was never current in that "
+                            f"interval (boundary levels: {boundary_levels})"
+                        ),
+                        reads=(rec,),
+                    )
+                )
+            else:
+                analyzed.append(_AnalyzedRead(rec, sorted(consistent)))
+        return analyzed, violations
+
+    # ------------------------------------------------------------------
+    # Rule B: per-vertex monotonicity
+    # ------------------------------------------------------------------
+    def _check_rule_b(self, analyzed: list[_AnalyzedRead]) -> list[Violation]:
+        violations: list[Violation] = []
+        per_vertex: dict[int, list[_AnalyzedRead]] = {}
+        for ar in analyzed:
+            per_vertex.setdefault(ar.record.vertex, []).append(ar)
+        for reads in per_vertex.values():
+            # For every precedence pair R1 -> R2 (R1.responded < R2.invoked),
+            # require min_version(R1) <= max_version(R2).  Equivalent to
+            # checking each read against the running max of min_version over
+            # already-responded reads.
+            by_invoked = sorted(reads, key=lambda ar: ar.record.invoked)
+            by_responded = sorted(reads, key=lambda ar: ar.record.responded)
+            ri = 0
+            best: Optional[_AnalyzedRead] = None  # max min_version so far
+            for ar in by_invoked:
+                while (
+                    ri < len(by_responded)
+                    and by_responded[ri].record.responded < ar.record.invoked
+                ):
+                    cand = by_responded[ri]
+                    if best is None or cand.min_version > best.min_version:
+                        best = cand
+                    ri += 1
+                if best is not None and best.min_version > ar.max_version:
+                    violations.append(
+                        Violation(
+                            rule="B",
+                            message=(
+                                f"vertex {ar.record.vertex}: a read finishing "
+                                f"at tick {best.record.responded} observed a "
+                                f"version from batch >= {best.min_version}, "
+                                f"but a later read (invoked "
+                                f"{ar.record.invoked}) observed a version "
+                                f"from batch <= {ar.max_version}"
+                            ),
+                            reads=(best.record, ar.record),
+                        )
+                    )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Rule C: DAG atomicity
+    # ------------------------------------------------------------------
+    def _check_rule_c(self, analyzed: list[_AnalyzedRead]) -> list[Violation]:
+        violations: list[Violation] = []
+        for batch in self.history.batches:
+            if not batch.dag_of:
+                continue
+            b = batch.index
+            # Partition this batch's reads-of-DAG-members into
+            # definitely-new (all consistent versions >= b) and
+            # definitely-old (all consistent versions < b), per DAG root.
+            new_by_root: dict[int, _AnalyzedRead] = {}  # min responded
+            old_by_root: dict[int, _AnalyzedRead] = {}  # max invoked
+            for ar in analyzed:
+                root = batch.dag_of.get(ar.record.vertex)
+                if root is None:
+                    continue
+                if ar.min_version >= b:
+                    cur = new_by_root.get(root)
+                    if cur is None or ar.record.responded < cur.record.responded:
+                        new_by_root[root] = ar
+                elif ar.max_version < b:
+                    cur = old_by_root.get(root)
+                    if cur is None or ar.record.invoked > cur.record.invoked:
+                        old_by_root[root] = ar
+            for root, new_ar in new_by_root.items():
+                old_ar = old_by_root.get(root)
+                if (
+                    old_ar is not None
+                    and new_ar.record.responded < old_ar.record.invoked
+                ):
+                    violations.append(
+                        Violation(
+                            rule="C",
+                            message=(
+                                f"batch {b}, DAG rooted at {root}: vertex "
+                                f"{new_ar.record.vertex} was read post-batch "
+                                f"(responded {new_ar.record.responded}) "
+                                f"before vertex {old_ar.record.vertex} was "
+                                f"read pre-batch (invoked "
+                                f"{old_ar.record.invoked}) — a new-old "
+                                f"inversion inside one dependency DAG"
+                            ),
+                            reads=(new_ar.record, old_ar.record),
+                        )
+                    )
+        return violations

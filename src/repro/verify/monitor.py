@@ -1,0 +1,91 @@
+"""Online invariant monitoring during batches.
+
+The quiescent checkers (`check_all_invariants`) certify end-of-batch states;
+this monitor hooks into the PLDS rounds and samples *mid-batch* consistency
+— the counters must track the graph at every round boundary, and the
+descriptor table must satisfy its structural rules (non-root parents point
+at marked vertices, parent vertex ids differ from their children) whenever
+marks exist.  Catching a drift at the round it happens, instead of at batch
+end, turns bookkeeping bugs from archaeology into stack traces.
+
+Intended for tests and debugging (it adds O(n + m) work per sampled round);
+attach with :func:`attach_monitor`, which returns the monitor for later
+interrogation.
+"""
+
+from __future__ import annotations
+
+from repro.core.descriptor import I_AM_ROOT
+from repro.errors import InvariantViolation
+from repro.lds.plds import Phase, UpdateHooks
+from repro.runtime.inject import HookChain
+
+
+class InvariantMonitor(UpdateHooks):
+    """Sample mid-batch consistency every ``sample_every`` rounds."""
+
+    def __init__(self, cplds, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.cplds = cplds
+        self.sample_every = sample_every
+        self.rounds_seen = 0
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    def round_boundary(self) -> None:
+        self.rounds_seen += 1
+        if self.rounds_seen % self.sample_every == 0:
+            self.sample()
+
+    def batch_end(self) -> None:
+        self.sample()
+
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Run all mid-batch checks once."""
+        self.samples_taken += 1
+        self._check_counters()
+        self._check_descriptor_structure()
+
+    def _check_counters(self) -> None:
+        state = self.cplds.plds.state
+        state.assert_counters_consistent()
+
+    def _check_descriptor_structure(self) -> None:
+        table = self.cplds.descriptors
+        slots = table.slots
+        for v in table.marked_vertices:
+            desc = slots[v]
+            if desc is None:
+                continue  # already unmarked (end-of-batch rounds)
+            parent = desc.parent
+            if parent == I_AM_ROOT:
+                continue
+            if parent == desc.vertex:
+                raise InvariantViolation(
+                    f"descriptor of {v} points at itself", vertex=v
+                )
+            if not 0 <= parent < len(slots):
+                raise InvariantViolation(
+                    f"descriptor of {v} has out-of-range parent {parent}",
+                    vertex=v,
+                )
+            # Chains must terminate: walk with a step bound.
+            seen = 0
+            node = desc
+            while node is not None and node.parent != I_AM_ROOT:
+                node = slots[node.parent]
+                seen += 1
+                if seen > len(slots):
+                    raise InvariantViolation(
+                        f"descriptor chain from {v} does not terminate",
+                        vertex=v,
+                    )
+
+
+def attach_monitor(cplds, sample_every: int = 1) -> InvariantMonitor:
+    """Chain an :class:`InvariantMonitor` after ``cplds``'s hooks."""
+    monitor = InvariantMonitor(cplds, sample_every=sample_every)
+    cplds.plds.hooks = HookChain(cplds.plds.hooks, monitor)
+    return monitor

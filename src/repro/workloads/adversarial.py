@@ -1,0 +1,99 @@
+"""Adversarial workload constructions.
+
+The worst cases for a dynamic k-core structure are *structured*, not random:
+deep cascades, flash crowds, long dependency chains.  The tests and benches
+use these constructions in several places; this module packages them as
+named, documented generators so their intent is explicit and reusable.
+"""
+
+from __future__ import annotations
+
+from repro.types import Edge
+from repro.workloads.batches import Batch, BatchStream
+
+
+def clique_edges(size: int, offset: int = 0) -> list[Edge]:
+    """All edges of a ``size``-clique on vertices ``offset..offset+size-1``."""
+    return [
+        (u + offset, v + offset)
+        for u in range(size)
+        for v in range(u + 1, size)
+    ]
+
+
+def flash_crowd(
+    clique_size: int, background: int = 200
+) -> tuple[int, BatchStream]:
+    """§6.3's unbounded-error scenario: a whole clique lands in one batch.
+
+    Returns ``(num_vertices, stream)`` where the stream is a sparse path
+    background batch followed by the single clique batch — the batch that
+    moves its members ``O(log_{1+δ} clique_size)`` groups at once.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    n = clique_size + background
+    path = [(i, i + 1) for i in range(n - 1)]
+    batches = [
+        Batch(kind="insert", edges=tuple(path)),
+        Batch(kind="insert", edges=tuple(clique_edges(clique_size))),
+    ]
+    return n, BatchStream(name=f"flash-{clique_size}", num_vertices=n, batches=batches)
+
+
+def cascade_chain(length: int) -> tuple[int, BatchStream]:
+    """A one-edge batch whose cascade ripples through a prepared structure.
+
+    Builds a near-complete clique edge-by-edge (each its own batch), leaving
+    one strategically chosen edge for the final single-edge batch — the
+    longest dependency DAG a single update can create at this size.
+    """
+    if length < 4:
+        raise ValueError("length must be >= 4")
+    edges = clique_edges(length)
+    *prefix, last = edges
+    batches = [Batch(kind="insert", edges=(e,)) for e in prefix]
+    batches.append(Batch(kind="insert", edges=(last,)))
+    return length, BatchStream(
+        name=f"cascade-{length}", num_vertices=length, batches=batches
+    )
+
+
+def teardown_wave(clique_size: int, waves: int = 3) -> tuple[int, BatchStream]:
+    """Deletion stress: a deep core dismantled in successive waves.
+
+    Each wave removes an interleaved slice of the clique's edges, forcing
+    repeated desire-level recomputation across the surviving structure —
+    the deletion phase's worst case.
+    """
+    if clique_size < 3:
+        raise ValueError("clique_size must be >= 3")
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    edges = clique_edges(clique_size)
+    batches = [Batch(kind="insert", edges=tuple(edges))]
+    for w in range(waves):
+        batches.append(Batch(kind="delete", edges=tuple(edges[w::waves])))
+    return clique_size, BatchStream(
+        name=f"teardown-{clique_size}x{waves}",
+        num_vertices=clique_size,
+        batches=batches,
+    )
+
+
+def sandwich_adversary(n: int = 16) -> tuple[int, BatchStream]:
+    """Alternating grow/shrink batches that maximise level oscillation.
+
+    Vertices repeatedly climb and fall across group boundaries, which is the
+    pattern that stresses the read sandwich (live levels changing while
+    reads are in flight) and descriptor reuse across batches.
+    """
+    if n < 4:
+        raise ValueError("n must be >= 4")
+    edges = clique_edges(n)
+    batches = []
+    for _ in range(3):
+        batches.append(Batch(kind="insert", edges=tuple(edges)))
+        batches.append(Batch(kind="delete", edges=tuple(edges[::2])))
+        batches.append(Batch(kind="delete", edges=tuple(edges[1::2])))
+    return n, BatchStream(name=f"sandwich-{n}", num_vertices=n, batches=batches)

@@ -1,0 +1,132 @@
+"""Update-batch streams for the experiment harness.
+
+The paper's experiments run "batches of insertions and deletions ... Unless
+specified otherwise, all experiments are conducted on batches of 10⁶ edges."
+At reproduction scale the batch size is a parameter; the construction is the
+same: shuffle a dataset's edge list, split it into fixed-size batches, and
+feed them as insertions (then optionally as deletions of the same edges, to
+drive the deletion-phase experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import Edge
+
+BatchKind = Literal["insert", "delete"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One update batch: a kind plus its edges."""
+
+    kind: BatchKind
+    edges: tuple[Edge, ...]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def split_into_batches(
+    edges: Sequence[Edge],
+    batch_size: int,
+    kind: BatchKind = "insert",
+    *,
+    shuffle_seed: int | None = None,
+) -> list[Batch]:
+    """Split an edge list into fixed-size batches, optionally shuffling first.
+
+    The final batch may be smaller.  Raises on non-positive sizes.
+    """
+    if batch_size <= 0:
+        raise WorkloadError(f"batch_size must be positive, got {batch_size}")
+    edges = list(edges)
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        perm = rng.permutation(len(edges))
+        edges = [edges[i] for i in perm]
+    return [
+        Batch(kind=kind, edges=tuple(edges[i : i + batch_size]))
+        for i in range(0, len(edges), batch_size)
+    ]
+
+
+@dataclass
+class BatchStream:
+    """A named, replayable sequence of batches.
+
+    ``insert_then_delete`` is the paper's standard shape: stream the dataset
+    in as insertion batches, then stream (a fraction of) it back out as
+    deletion batches, so both phases get exercised on realistic states.
+    """
+
+    name: str
+    num_vertices: int
+    batches: list[Batch]
+
+    @classmethod
+    def insert_only(
+        cls,
+        name: str,
+        num_vertices: int,
+        edges: Sequence[Edge],
+        batch_size: int,
+        *,
+        shuffle_seed: int | None = 0,
+    ) -> "BatchStream":
+        return cls(
+            name=name,
+            num_vertices=num_vertices,
+            batches=split_into_batches(
+                edges, batch_size, "insert", shuffle_seed=shuffle_seed
+            ),
+        )
+
+    @classmethod
+    def insert_then_delete(
+        cls,
+        name: str,
+        num_vertices: int,
+        edges: Sequence[Edge],
+        batch_size: int,
+        *,
+        delete_fraction: float = 0.5,
+        shuffle_seed: int | None = 0,
+    ) -> "BatchStream":
+        if not 0.0 <= delete_fraction <= 1.0:
+            raise WorkloadError(
+                f"delete_fraction must be in [0, 1], got {delete_fraction}"
+            )
+        inserts = split_into_batches(
+            edges, batch_size, "insert", shuffle_seed=shuffle_seed
+        )
+        num_delete = int(len(edges) * delete_fraction)
+        flat = [e for b in inserts for e in b.edges]
+        deletes = split_into_batches(flat[:num_delete], batch_size, "delete")
+        return cls(name=name, num_vertices=num_vertices, batches=inserts + deletes)
+
+    def __iter__(self) -> Iterator[Batch]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+    def kinds(self) -> list[BatchKind]:
+        return [b.kind for b in self.batches]
+
+    def only(self, kind: BatchKind) -> "BatchStream":
+        """A sub-stream with batches of one kind (keeps relative order)."""
+        return BatchStream(
+            name=f"{self.name}:{kind}",
+            num_vertices=self.num_vertices,
+            batches=[b for b in self.batches if b.kind == kind],
+        )

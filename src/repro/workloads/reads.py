@@ -1,0 +1,94 @@
+"""Read-workload generators.
+
+The paper's read threads "continuously generate reads of vertices chosen
+uniformly at random for the duration of the batch"; that is
+:class:`UniformReadGenerator`.  :class:`ZipfReadGenerator` adds the skewed
+access pattern typical of the social-network read paths the paper motivates
+with (TAO-style workloads), used by the extension benches.
+
+Generators are deterministic given their seed and safe to share across
+threads only by giving each thread its own instance (the paper's model:
+every read is generated and executed by a single read process).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import Vertex
+
+
+class UniformReadGenerator:
+    """Uniform-random vertex picks, buffered for cheap per-call cost."""
+
+    def __init__(self, num_vertices: int, seed: int = 0, buffer_size: int = 4096) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        self.num_vertices = num_vertices
+        self._rng = np.random.default_rng(seed)
+        self._buffer_size = buffer_size
+        self._buf: list[int] = []
+        self._pos = 0
+
+    def _refill(self) -> None:
+        self._buf = self._rng.integers(
+            0, self.num_vertices, size=self._buffer_size
+        ).tolist()
+        self._pos = 0
+
+    def next(self) -> Vertex:
+        """The next vertex to read."""
+        if self._pos >= len(self._buf):
+            self._refill()
+        v = self._buf[self._pos]
+        self._pos += 1
+        return v
+
+    def take(self, k: int) -> list[Vertex]:
+        """The next ``k`` vertices."""
+        return [self.next() for _ in range(k)]
+
+
+class ZipfReadGenerator:
+    """Zipf-skewed vertex picks (rank-frequency exponent ``s``).
+
+    Vertex ids are used directly as ranks, matching how the synthetic
+    datasets assign low ids to high-degree vertices — so hot readers hit hot
+    vertices, the adversarial case for descriptor-DAG traffic.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        s: float = 1.1,
+        seed: int = 0,
+        buffer_size: int = 4096,
+    ) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if s <= 0:
+            raise ValueError("zipf exponent must be positive")
+        self.num_vertices = num_vertices
+        ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+        weights = ranks**-s
+        self._probs = weights / weights.sum()
+        self._rng = np.random.default_rng(seed)
+        self._buffer_size = buffer_size
+        self._buf: list[int] = []
+        self._pos = 0
+
+    def _refill(self) -> None:
+        self._buf = self._rng.choice(
+            self.num_vertices, size=self._buffer_size, p=self._probs
+        ).tolist()
+        self._pos = 0
+
+    def next(self) -> Vertex:
+        if self._pos >= len(self._buf):
+            self._refill()
+        v = self._buf[self._pos]
+        self._pos += 1
+        return v
+
+    def take(self, k: int) -> list[Vertex]:
+        return [self.next() for _ in range(k)]

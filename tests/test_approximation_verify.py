@@ -1,0 +1,84 @@
+"""Tests for the BoundaryOracle and read-error scoring (Fig 6 machinery)."""
+
+import pytest
+
+from repro.verify.approximation import BoundaryOracle, ErrorStats, read_error
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestBoundaryOracle:
+    def test_boundaries_accumulate(self):
+        o = BoundaryOracle(4)
+        assert o.num_boundaries == 1
+        o.push_batch("insert", [(0, 1), (1, 2), (0, 2)])
+        o.push_batch("delete", [(0, 1)])
+        assert o.num_boundaries == 3
+        assert o.coreness_at(0, 0) == 0
+        assert o.coreness_at(1, 0) == 2
+        assert o.coreness_at(2, 0) == 1
+
+    def test_initial_edges(self):
+        o = BoundaryOracle(3, initial_edges=[(0, 1), (1, 2), (0, 2)])
+        assert o.coreness_at(0, 1) == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            BoundaryOracle(2).push_batch("upsert", [])
+
+    def test_cores_at_returns_array(self):
+        o = BoundaryOracle(5)
+        o.push_batch("insert", clique(5))
+        assert o.cores_at(1).tolist() == [4] * 5
+
+
+class TestReadError:
+    def test_exact_read_scores_one(self):
+        o = BoundaryOracle(5)
+        o.push_batch("insert", clique(5))
+        assert read_error(o, batch=1, v=0, estimate=4.0) == 1.0
+
+    def test_min_of_two_boundaries(self):
+        # Before: coreness 0; after: coreness 4.  Estimate 2 is 2x off the
+        # after-boundary and 2x off the (coreless) before-boundary.
+        o = BoundaryOracle(5)
+        o.push_batch("insert", clique(5))
+        assert read_error(o, batch=1, v=0, estimate=2.0) == pytest.approx(2.0)
+
+    def test_boundary_clamping(self):
+        o = BoundaryOracle(5)
+        o.push_batch("insert", clique(5))
+        # Claimed batch past the recorded history clamps to the last boundary.
+        assert read_error(o, batch=99, v=0, estimate=4.0) == 1.0
+        assert read_error(o, batch=0, v=0, estimate=1.0) == 1.0
+
+    def test_mid_jump_estimate_penalized_both_ways(self):
+        """The §6.3 scenario: before k=0, after k=9; a mid-level estimate of
+        3 is 3x away from both boundaries."""
+        o = BoundaryOracle(10)
+        o.push_batch("insert", clique(10))
+        err = read_error(o, batch=1, v=0, estimate=3.0)
+        assert err == pytest.approx(3.0)
+
+
+class TestErrorStats:
+    def test_accumulation(self):
+        s = ErrorStats()
+        for e in (1.0, 2.0, 6.0):
+            s.add(e)
+        assert s.count == 3
+        assert s.mean == pytest.approx(3.0)
+        assert s.worst == 6.0
+
+    def test_empty_mean_neutral(self):
+        assert ErrorStats().mean == 1.0
+
+    def test_merge(self):
+        a, b = ErrorStats(), ErrorStats()
+        a.add(2.0)
+        b.add(4.0)
+        m = a.merge(b)
+        assert m.count == 2
+        assert m.worst == 4.0

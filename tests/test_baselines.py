@@ -1,0 +1,169 @@
+"""Tests for the SyncReads and NonSync baselines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import NonSyncKCore, SyncReadsKCore
+from repro.graph import generators as gen
+from repro.runtime.inject import InjectionProbe, attach_probe
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestNonSync:
+    def test_read_returns_live_level_estimate(self):
+        ns = NonSyncKCore(6)
+        ns.insert_batch(clique(6))
+        for v in range(6):
+            assert ns.read(v) == ns.params.coreness_estimate(ns.plds.level(v))
+
+    def test_reads_never_retry(self):
+        ns = NonSyncKCore(6)
+        ns.insert_batch(clique(6))
+        assert ns.read_verbose(0).retries == 0
+
+    def test_can_observe_intermediate_levels(self):
+        """The defining (non-linearizable) behaviour: mid-batch reads see
+        levels strictly between the batch boundaries."""
+        n = 10
+        ns = NonSyncKCore(n)
+        pre = ns.levels()
+        observed = []
+
+        def on_point(_tag):
+            for v in range(n):
+                observed.append((v, ns.read_level(v)))
+
+        attach_probe(ns, InjectionProbe(on_point))
+        ns.insert_batch(clique(n))
+        post = ns.levels()
+        intermediate = [
+            (v, lvl)
+            for v, lvl in observed
+            if lvl not in (pre[v], post[v])
+        ]
+        assert intermediate, "expected at least one intermediate-level read"
+
+    def test_update_path_identical_to_plds(self):
+        edges = gen.erdos_renyi(30, 120, seed=4)
+        ns = NonSyncKCore(30)
+        ns.insert_batch(edges)
+        ns.check_invariants()
+
+    def test_batch_number_tracks_batches(self):
+        ns = NonSyncKCore(4)
+        ns.insert_batch([(0, 1)])
+        ns.apply_batch(insertions=[(1, 2)])
+        assert ns.batch_number == 2
+
+
+class TestSyncReads:
+    def test_quiescent_read_immediate(self):
+        sr = SyncReadsKCore(6)
+        sr.insert_batch(clique(6))
+        r = sr.read_verbose(0)
+        assert r.retries == 0
+        assert r.estimate == sr.params.coreness_estimate(sr.plds.level(0))
+
+    def test_concurrent_read_waits_for_batch(self):
+        """A read invoked mid-batch must block until the batch completes and
+        then return the post-batch value."""
+        sr = SyncReadsKCore(10)
+        started = threading.Event()
+        release = threading.Event()
+
+        class SlowHooks:
+            def batch_begin(self, kind, edges):
+                pass
+
+            def before_move(self, v, old, new, phase):
+                started.set()
+                release.wait(timeout=10)
+
+            def round_boundary(self):
+                pass
+
+            def batch_end(self):
+                pass
+
+        from repro.runtime.inject import HookChain
+
+        sr.plds.hooks = HookChain(sr.plds.hooks, SlowHooks())
+        results = {}
+
+        def reader():
+            started.wait(timeout=10)
+            t0 = time.perf_counter()
+            results["value"] = sr.read_verbose(0)
+            results["latency"] = time.perf_counter() - t0
+
+        def updater():
+            sr.insert_batch(clique(10))
+
+        tu = threading.Thread(target=updater)
+        tr = threading.Thread(target=reader)
+        tu.start()
+        tr.start()
+        started.wait(timeout=10)
+        time.sleep(0.05)  # let the reader reach the wait
+        release.set()
+        tu.join(timeout=10)
+        tr.join(timeout=10)
+        assert results["value"].retries > 0, "read did not wait for the batch"
+        # The returned value is the post-batch level.
+        assert results["value"].level == sr.plds.level(0)
+
+    def test_drain_returns_when_no_waiters(self):
+        sr = SyncReadsKCore(4)
+        sr.drain()  # no-op, must not hang
+
+    def test_drain_waits_for_queued_reader(self):
+        sr = SyncReadsKCore(8)
+        in_read = threading.Event()
+
+        def reader():
+            in_read.set()
+            sr.read(0)
+
+        # Simulate a batch in progress, then a queued reader, then release.
+        with sr._cond:
+            sr._in_batch = True
+        t = threading.Thread(target=reader)
+        t.start()
+        in_read.wait(timeout=5)
+        time.sleep(0.02)
+        with sr._cond:
+            sr._in_batch = False
+            sr._cond.notify_all()
+        sr.drain()
+        t.join(timeout=5)
+        assert sr._waiting == 0
+
+    def test_update_and_conveniences(self):
+        edges = gen.erdos_renyi(20, 60, seed=5)
+        sr = SyncReadsKCore(20)
+        sr.insert_batch(edges)
+        sr.delete_batch(edges[::2])
+        sr.check_invariants()
+        assert len(sr.levels()) == 20
+        assert sr.graph.num_edges == len(edges) - len(edges[::2])
+
+
+class TestInterchangeability:
+    """All three implementations expose the same surface (CorenessReader)."""
+
+    @pytest.mark.parametrize("factory", [NonSyncKCore, SyncReadsKCore])
+    def test_same_final_estimates_as_each_other(self, factory):
+        from repro.core import CPLDS
+
+        edges = gen.chung_lu(25, 90, seed=6)
+        ref = CPLDS(25)
+        ref.insert_batch(edges)
+        impl = factory(25)
+        impl.insert_batch(edges)
+        for v in range(25):
+            assert impl.read(v) == ref.read(v)

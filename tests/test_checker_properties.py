@@ -1,0 +1,137 @@
+"""Property tests for the linearizability checker itself.
+
+The checker's rules must be *sound*: a history constructed to be trivially
+linearizable (every read strictly inside a quiescent window, returning the
+then-current value) must never be flagged, for any random interleaving of
+batches and read placements hypothesis can produce.  Conversely, injecting a
+value that was never current must always be flagged by rule A.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.history import BatchRecord, History, ReadRecord
+from repro.verify.linearizability import LinearizabilityChecker
+
+
+@st.composite
+def quiescent_histories(draw):
+    """A random multi-batch history with reads only in quiescent windows."""
+    num_vertices = draw(st.integers(min_value=1, max_value=5))
+    num_batches = draw(st.integers(min_value=0, max_value=5))
+    history = History(initial_levels=tuple([0] * num_vertices))
+    t = 10
+    levels = [0] * num_vertices
+    windows = [(0, t)]  # quiescent windows between batches
+    snapshots = [tuple(levels)]
+    for b in range(1, num_batches + 1):
+        start = t
+        # Each batch bumps a random subset of vertices by random amounts.
+        changed = draw(
+            st.sets(st.integers(0, num_vertices - 1), max_size=num_vertices)
+        )
+        for v in changed:
+            levels[v] = draw(st.integers(min_value=0, max_value=30))
+        t += draw(st.integers(min_value=2, max_value=10))
+        end = t
+        history.batches.append(
+            BatchRecord(
+                index=b,
+                kind="insert",
+                started=start,
+                ended=end,
+                levels_after=tuple(levels),
+                changed=frozenset(
+                    v
+                    for v in changed
+                    if levels[v] != snapshots[-1][v]
+                ),
+                dag_of={
+                    v: min(changed)
+                    for v in changed
+                    if levels[v] != snapshots[-1][v]
+                },
+            )
+        )
+        snapshots.append(tuple(levels))
+        t += draw(st.integers(min_value=3, max_value=10))
+        windows.append((end + 1, t))
+    return history, windows, snapshots
+
+
+class TestSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(quiescent_histories(), st.data())
+    def test_quiescent_reads_never_flagged(self, built, data):
+        history, windows, snapshots = built
+        n = history.num_vertices
+        num_reads = data.draw(st.integers(min_value=0, max_value=10))
+        for _ in range(num_reads):
+            w = data.draw(st.integers(0, len(windows) - 1))
+            lo, hi = windows[w]
+            if hi <= lo:
+                continue
+            inv = data.draw(st.integers(lo, hi - 1))
+            resp = data.draw(st.integers(inv, hi - 1)) + 1
+            v = data.draw(st.integers(0, n - 1))
+            history.reads.append(
+                ReadRecord(
+                    vertex=v,
+                    invoked=inv,
+                    responded=min(resp, hi),
+                    level=snapshots[w][v],
+                    from_descriptor=False,
+                    batch=w,
+                )
+            )
+        assert LinearizabilityChecker(history).violations() == []
+
+    @settings(max_examples=80, deadline=None)
+    @given(quiescent_histories(), st.data())
+    def test_never_current_value_always_flagged(self, built, data):
+        history, windows, snapshots = built
+        n = history.num_vertices
+        v = data.draw(st.integers(0, n - 1))
+        ever = {snap[v] for snap in snapshots}
+        bogus = max(ever) + 1 + data.draw(st.integers(0, 5))
+        w = data.draw(st.integers(0, len(windows) - 1))
+        lo, hi = windows[w]
+        history.reads.append(
+            ReadRecord(
+                vertex=v,
+                invoked=lo,
+                responded=max(lo + 1, hi),
+                level=bogus,
+                from_descriptor=False,
+                batch=w,
+            )
+        )
+        violations = LinearizabilityChecker(history).violations()
+        assert any(x.rule == "A" for x in violations)
+
+    @settings(max_examples=60, deadline=None)
+    @given(quiescent_histories(), st.data())
+    def test_reads_spanning_batches_accept_either_side(self, built, data):
+        """A read overlapping a batch may return the pre- or post-batch
+        value — both must be accepted."""
+        history, windows, snapshots = built
+        if not history.batches:
+            return
+        n = history.num_vertices
+        bi = data.draw(st.integers(0, len(history.batches) - 1))
+        batch = history.batches[bi]
+        v = data.draw(st.integers(0, n - 1))
+        pre = snapshots[bi][v]
+        post = snapshots[bi + 1][v]
+        for value in (pre, post):
+            history.reads.append(
+                ReadRecord(
+                    vertex=v,
+                    invoked=batch.started,
+                    responded=batch.ended,
+                    level=value,
+                    from_descriptor=value == pre,
+                    batch=batch.index,
+                )
+            )
+        assert LinearizabilityChecker(history).violations() == []

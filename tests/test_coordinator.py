@@ -1,0 +1,136 @@
+"""Tests for the multi-producer batch coordinator."""
+
+import threading
+
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import ReproError
+from repro.runtime.coordinator import BatchCoordinator
+
+
+class TestBasics:
+    def test_single_update_applies(self):
+        cp = CPLDS(4)
+        with BatchCoordinator(cp, max_delay=0.005) as coord:
+            t = coord.submit_insert(0, 1)
+            assert t.wait(5.0)
+            assert t.applied_in_batch is not None
+        assert cp.graph.has_edge(0, 1)
+
+    def test_read_passthrough(self):
+        cp = CPLDS(4)
+        with BatchCoordinator(cp) as coord:
+            coord.submit_insert(0, 1).wait(5.0)
+            assert coord.read(0) == cp.read(0)
+
+    def test_flush_waits_for_everything(self):
+        cp = CPLDS(10)
+        with BatchCoordinator(cp, max_batch=4, max_delay=0.5) as coord:
+            tickets = [coord.submit_insert(i, i + 1) for i in range(8)]
+            coord.flush()
+            assert all(t.done for t in tickets)
+        assert cp.graph.num_edges == 8
+
+    def test_insert_then_delete_same_edge_in_window(self):
+        """Last op per edge wins within one batch."""
+        cp = CPLDS(4)
+        with BatchCoordinator(cp, max_batch=16, max_delay=0.2) as coord:
+            coord.submit_insert(0, 1)
+            t = coord.submit_delete(0, 1)
+            t.wait(5.0)
+            coord.flush()
+        assert not cp.graph.has_edge(0, 1)
+
+    def test_size_triggered_batches(self):
+        cp = CPLDS(64)
+        with BatchCoordinator(cp, max_batch=8, max_delay=10.0) as coord:
+            for i in range(32):
+                coord.submit_insert(i, i + 1)
+            coord.flush()
+            assert coord.batches_applied >= 4
+            assert coord.updates_applied == 32
+
+    def test_invalid_params(self):
+        cp = CPLDS(2)
+        with pytest.raises(ValueError):
+            BatchCoordinator(cp, max_batch=0)
+        with pytest.raises(ValueError):
+            BatchCoordinator(cp, max_delay=0.0)
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        coord = BatchCoordinator(CPLDS(2))
+        coord.close()
+        coord.close()
+
+    def test_submit_after_close_rejected(self):
+        coord = BatchCoordinator(CPLDS(2))
+        coord.close()
+        with pytest.raises(ReproError):
+            coord.submit_insert(0, 1)
+
+    def test_context_manager_flushes(self):
+        cp = CPLDS(4)
+        with BatchCoordinator(cp) as coord:
+            coord.submit_insert(0, 1)
+        assert cp.graph.has_edge(0, 1)
+
+
+class TestConcurrentProducers:
+    def test_many_producers(self):
+        n = 200
+        cp = CPLDS(n)
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        with BatchCoordinator(cp, max_batch=32, max_delay=0.002) as coord:
+            def producer(chunk):
+                for u, v in chunk:
+                    coord.submit_insert(u, v)
+
+            threads = [
+                threading.Thread(target=producer, args=(edges[k::4],))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            coord.flush()
+        assert cp.graph.num_edges == n
+        cp.check_invariants()
+
+    def test_reads_concurrent_with_ingestion(self):
+        n = 100
+        cp = CPLDS(n)
+        stop = threading.Event()
+        estimates = []
+
+        def reader():
+            while not stop.is_set():
+                estimates.append(cp.read(0))
+
+        rt = threading.Thread(target=reader, daemon=True)
+        rt.start()
+        with BatchCoordinator(cp, max_batch=16, max_delay=0.001) as coord:
+            for u in range(1, 40):
+                coord.submit_insert(0, u)
+            coord.flush()
+        stop.set()
+        rt.join(5.0)
+        assert estimates
+        assert cp.graph.degree(0) == 39
+
+    def test_read_your_writes_via_ticket(self):
+        cp = CPLDS(4)
+        with BatchCoordinator(cp, max_delay=0.002) as coord:
+            t1 = coord.submit_insert(0, 1)
+            t2 = coord.submit_insert(1, 2)
+            t3 = coord.submit_insert(0, 2)
+            for t in (t1, t2, t3):
+                assert t.wait(5.0)
+            # After our tickets complete, our writes are visible.
+            assert cp.graph.has_edge(0, 1)
+            assert cp.graph.has_edge(1, 2)
+            assert cp.graph.has_edge(0, 2)
+            assert coord.read(0) >= 1.0

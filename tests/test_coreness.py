@@ -1,0 +1,76 @@
+"""Tests for the coreness-estimate helpers (Definition 3.1 / Lemma 3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lds import LDSParams
+from repro.lds.coreness import (
+    approximation_factor,
+    coreness_estimate,
+    lemma_3_2_bounds,
+)
+
+
+class TestEstimateFormula:
+    def test_matches_definition_3_1(self):
+        p = LDSParams(1000, delta=0.2)
+        h = p.group_height
+        for level in (0, h - 1, h, 2 * h - 1, 3 * h):
+            expected = (1.2) ** max((level + 1) // h - 1, 0)
+            assert coreness_estimate(p, level) == pytest.approx(expected)
+
+    def test_free_function_matches_method(self):
+        p = LDSParams(100, levels_per_group=5)
+        for level in range(p.num_levels):
+            assert coreness_estimate(p, level) == p.coreness_estimate(level)
+
+
+class TestApproximationFactor:
+    def test_exact_match_is_one(self):
+        assert approximation_factor(5.0, 5) == 1.0
+
+    def test_symmetric(self):
+        assert approximation_factor(10.0, 5) == pytest.approx(2.0)
+        assert approximation_factor(2.5, 5) == pytest.approx(2.0)
+
+    def test_coreless_vertex_neutral_for_small_estimates(self):
+        assert approximation_factor(1.0, 0) == 1.0
+        assert approximation_factor(0.5, 0) == 1.0
+
+    def test_coreless_vertex_penalized_for_large_estimates(self):
+        assert approximation_factor(7.0, 0) == 7.0
+
+    def test_zero_estimate_infinite(self):
+        assert approximation_factor(0.0, 3) == float("inf")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=1e6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_always_at_least_one(self, est, exact):
+        assert approximation_factor(est, exact) >= 1.0
+
+
+class TestLemmaBounds:
+    def test_bounds_bracket_exact(self):
+        p = LDSParams(1000)
+        lo, hi = lemma_3_2_bounds(p, 10)
+        assert lo < 10 < hi
+        assert hi / 10 == pytest.approx(2.8 * 1.2)
+
+    def test_zero_coreness(self):
+        p = LDSParams(1000)
+        lo, hi = lemma_3_2_bounds(p, 0)
+        assert lo == 0.0
+        assert hi > 1.0
+
+    def test_bounds_scale_linearly(self):
+        p = LDSParams(1000)
+        lo1, hi1 = lemma_3_2_bounds(p, 3)
+        lo2, hi2 = lemma_3_2_bounds(p, 6)
+        assert lo2 == pytest.approx(2 * lo1)
+        assert hi2 == pytest.approx(2 * hi1)

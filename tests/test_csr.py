@@ -1,0 +1,64 @@
+"""Tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexOutOfRange
+from repro.graph import CSRGraph, DynamicGraph
+
+
+class TestConstruction:
+    def test_from_dynamic(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2), (1, 3)])
+        csr = CSRGraph.from_dynamic(g)
+        assert csr.num_vertices == 4
+        assert csr.num_edges == 3
+        assert csr.neighbors(1).tolist() == [0, 2, 3]
+
+    def test_from_edges_dedup(self):
+        csr = CSRGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        assert csr.num_edges == 2
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_dynamic(DynamicGraph(0))
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+    def test_isolated_vertices(self):
+        csr = CSRGraph.from_dynamic(DynamicGraph(3))
+        assert csr.degrees().tolist() == [0, 0, 0]
+        assert csr.neighbors(1).size == 0
+
+
+class TestAccessors:
+    def test_degree_matches_dynamic(self):
+        g = DynamicGraph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        csr = CSRGraph.from_dynamic(g)
+        for v in range(5):
+            assert csr.degree(v) == g.degree(v)
+
+    def test_neighbors_sorted(self):
+        g = DynamicGraph(5, [(2, 4), (2, 0), (2, 3)])
+        csr = CSRGraph.from_dynamic(g)
+        nbrs = csr.neighbors(2).tolist()
+        assert nbrs == sorted(nbrs) == [0, 3, 4]
+
+    def test_out_of_range(self):
+        csr = CSRGraph.from_dynamic(DynamicGraph(2))
+        with pytest.raises(VertexOutOfRange):
+            csr.neighbors(2)
+        with pytest.raises(VertexOutOfRange):
+            csr.degree(-1)
+
+    def test_offsets_consistent(self):
+        g = DynamicGraph(6, [(0, 5), (1, 2), (2, 3), (4, 5)])
+        csr = CSRGraph.from_dynamic(g)
+        assert csr.offsets[0] == 0
+        assert csr.offsets[-1] == len(csr.targets) == 2 * csr.num_edges
+        assert np.all(np.diff(csr.offsets) >= 0)
+
+    def test_snapshot_is_independent(self):
+        g = DynamicGraph(3, [(0, 1)])
+        csr = CSRGraph.from_dynamic(g)
+        g.insert_edge(1, 2)
+        assert csr.num_edges == 1

@@ -1,0 +1,61 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph import read_edge_list, write_edge_list
+
+
+class TestRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        edges = [(0, 1), (1, 2), (2, 5)]
+        assert write_edge_list(path, edges) == 3
+        n, back = read_edge_list(path)
+        assert n == 6
+        assert back == edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n% other comment\n\n0 1\n1 2\n")
+        n, edges = read_edge_list(path)
+        assert n == 3
+        assert edges == [(0, 1), (1, 2)]
+
+    def test_self_loops_dropped_duplicates_collapsed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n1 0\n")
+        n, edges = read_edge_list(path)
+        assert edges == [(0, 1)]
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 17.5\n")
+        _, edges = read_edge_list(path)
+        assert edges == [(0, 1)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="two columns"):
+            read_edge_list(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        assert read_edge_list(path) == (0, [])
+
+
+class TestWrite:
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(path, [(0, 1)], header="line1\nline2")
+        text = path.read_text()
+        assert text.startswith("# line1\n# line2\n")
+        n, edges = read_edge_list(path)
+        assert edges == [(0, 1)]

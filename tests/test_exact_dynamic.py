@@ -1,0 +1,169 @@
+"""Tests for the exact dynamic k-core baseline (traversal algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VertexOutOfRange
+from repro.exact import DynamicExactKCore, core_decomposition
+from repro.graph import generators as gen
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestInsertion:
+    def test_single_edge(self):
+        kc = DynamicExactKCore(3)
+        kc.insert_edge(0, 1)
+        assert kc.corenesses().tolist() == [1, 1, 0]
+        kc.check()
+
+    def test_duplicate_insert_noop(self):
+        kc = DynamicExactKCore(3)
+        assert kc.insert_edge(0, 1) is True
+        assert kc.insert_edge(1, 0) is False
+
+    def test_triangle_promotes_all(self):
+        kc = DynamicExactKCore(3)
+        kc.insert_batch([(0, 1), (1, 2), (0, 2)])
+        assert kc.corenesses().tolist() == [2, 2, 2]
+        kc.check()
+
+    def test_clique_incremental(self):
+        kc = DynamicExactKCore(7)
+        for e in clique(7):
+            kc.insert_edge(*e)
+            kc.check()
+        assert kc.coreness(0) == 6
+
+    def test_pendant_not_promoted(self):
+        kc = DynamicExactKCore(5)
+        kc.insert_batch(clique(4))
+        kc.insert_edge(3, 4)
+        assert kc.coreness(4) == 1
+        assert kc.coreness(3) == 3
+        kc.check()
+
+    def test_joining_two_subcores(self):
+        # Two triangles joined by a new edge stay at core 2.
+        kc = DynamicExactKCore(6)
+        kc.insert_batch([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        kc.insert_edge(2, 3)
+        assert kc.corenesses().tolist() == [2, 2, 2, 2, 2, 2]
+        kc.check()
+
+
+class TestDeletion:
+    def test_delete_missing_noop(self):
+        kc = DynamicExactKCore(3)
+        assert kc.delete_edge(0, 1) is False
+
+    def test_break_triangle(self):
+        kc = DynamicExactKCore(3)
+        kc.insert_batch(clique(3))
+        kc.delete_edge(0, 1)
+        assert kc.corenesses().tolist() == [1, 1, 1]
+        kc.check()
+
+    def test_cascade_through_chain(self):
+        # A 4-cycle is a 2-core; removing one edge demotes everyone.
+        kc = DynamicExactKCore(4)
+        kc.insert_batch([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert kc.coreness(0) == 2
+        kc.delete_edge(0, 1)
+        assert kc.corenesses().tolist() == [1, 1, 1, 1]
+        kc.check()
+
+    def test_deep_clique_teardown(self):
+        kc = DynamicExactKCore(6)
+        edges = clique(6)
+        kc.insert_batch(edges)
+        for e in edges:
+            kc.delete_edge(*e)
+            kc.check()
+        assert kc.corenesses().tolist() == [0] * 6
+
+    def test_isolated_vertex_query(self):
+        kc = DynamicExactKCore(2)
+        assert kc.coreness(1) == 0
+        with pytest.raises(VertexOutOfRange):
+            kc.coreness(2)
+
+
+class TestAgainstRecompute:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_insert_stream(self, seed):
+        edges = gen.erdos_renyi(30, 120, seed=seed)
+        kc = DynamicExactKCore(30)
+        for i, e in enumerate(edges):
+            kc.insert_edge(*e)
+            if i % 20 == 19:
+                kc.check()
+        kc.check()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_churn(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        kc = DynamicExactKCore(n)
+        possible = clique(n)
+        for _ in range(150):
+            e = possible[int(rng.integers(0, len(possible)))]
+            if kc.graph.has_edge(*e):
+                kc.delete_edge(*e)
+            else:
+                kc.insert_edge(*e)
+        kc.check()
+
+    def test_read_matches_peeling(self):
+        edges = gen.chung_lu(40, 160, seed=9)
+        kc = DynamicExactKCore(40)
+        kc.insert_batch(edges)
+        expected = core_decomposition(kc.graph)
+        for v in range(40):
+            assert kc.read(v) == float(expected[v])
+
+
+@st.composite
+def churn_scripts(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    ops = draw(
+        st.lists(
+            st.tuples(st.booleans(), st.sampled_from(possible)), max_size=40
+        )
+    )
+    return n, ops
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(churn_scripts())
+    def test_always_matches_recompute(self, script):
+        n, ops = script
+        kc = DynamicExactKCore(n)
+        for is_insert, (u, v) in ops:
+            if is_insert:
+                kc.insert_edge(u, v)
+            else:
+                kc.delete_edge(u, v)
+        kc.check()
+
+    @settings(max_examples=40, deadline=None)
+    @given(churn_scripts())
+    def test_single_update_changes_coreness_by_at_most_one(self, script):
+        n, ops = script
+        kc = DynamicExactKCore(n)
+        for is_insert, (u, v) in ops:
+            before = kc.corenesses().copy()
+            changed = (
+                kc.insert_edge(u, v) if is_insert else kc.delete_edge(u, v)
+            )
+            after = kc.corenesses()
+            if changed:
+                assert np.all(np.abs(after - before) <= 1)
+            else:
+                assert np.array_equal(after, before)

@@ -1,0 +1,173 @@
+"""Unit + property tests for the exact k-core peeling algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import core_decomposition, degeneracy, k_core_subgraph
+from repro.exact.peeling import degeneracy_ordering
+from repro.exact.verify import check_core_decomposition, naive_core_decomposition
+from repro.graph import CSRGraph, DynamicGraph
+from repro.graph import generators as gen
+
+
+def complete_graph(n):
+    return DynamicGraph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+class TestKnownGraphs:
+    def test_empty(self):
+        assert core_decomposition(DynamicGraph(0)).tolist() == []
+
+    def test_isolated_vertices(self):
+        assert core_decomposition(DynamicGraph(3)).tolist() == [0, 0, 0]
+
+    def test_single_edge(self):
+        g = DynamicGraph(2, [(0, 1)])
+        assert core_decomposition(g).tolist() == [1, 1]
+
+    def test_triangle(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert core_decomposition(g).tolist() == [2, 2, 2]
+
+    def test_path(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert core_decomposition(g).tolist() == [1, 1, 1, 1]
+
+    def test_star(self):
+        g = DynamicGraph(5, [(0, i) for i in range(1, 5)])
+        assert core_decomposition(g).tolist() == [1, 1, 1, 1, 1]
+
+    def test_triangle_with_pendant(self):
+        g = DynamicGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert core_decomposition(g).tolist() == [2, 2, 2, 1]
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert core_decomposition(g).tolist() == [5] * 6
+
+    def test_two_cliques_joined_by_edge(self):
+        # K4 on {0..3}, K3 on {4..6}, bridge (3, 4).
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(4, 5), (4, 6), (5, 6), (3, 4)]
+        g = DynamicGraph(7, edges)
+        cores = core_decomposition(g).tolist()
+        assert cores[:4] == [3, 3, 3, 3]
+        assert cores[4:] == [2, 2, 2]
+
+    def test_accepts_csr_input(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2), (0, 2)])
+        csr = CSRGraph.from_dynamic(g)
+        assert core_decomposition(csr).tolist() == [2, 2, 2]
+
+
+class TestDegeneracyAndSubgraph:
+    def test_degeneracy_of_clique(self):
+        assert degeneracy(complete_graph(5)) == 4
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(DynamicGraph(4)) == 0
+
+    def test_k_core_subgraph_mask(self):
+        g = DynamicGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert k_core_subgraph(g, 2).tolist() == [True, True, True, False]
+        assert k_core_subgraph(g, 1).tolist() == [True] * 4
+
+    def test_grid_road_has_low_degeneracy(self):
+        g = DynamicGraph(100, gen.grid_road(10, 10, diagonal_fraction=0.0, seed=1))
+        assert degeneracy(g) == 2
+
+    def test_grid_road_with_diagonals_reaches_three(self):
+        # A cell with both diagonals forms a K4, so sparse diagonals lift the
+        # degeneracy from 2 to exactly 3 — the road-network regime of Table 1.
+        edges = gen.grid_road(20, 20, diagonal_fraction=0.2, seed=1)
+        g = DynamicGraph(400, edges)
+        assert degeneracy(g) == 3
+
+    def test_degeneracy_ordering_is_permutation(self):
+        g = DynamicGraph(50, gen.erdos_renyi(50, 120, seed=3))
+        order = degeneracy_ordering(g)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_degeneracy_ordering_witnesses_degeneracy(self):
+        # Max forward degree along a smallest-last order equals degeneracy.
+        g = DynamicGraph(60, gen.chung_lu(60, 200, seed=5))
+        order = degeneracy_ordering(g)
+        rank = {int(v): i for i, v in enumerate(order)}
+        fwd = 0
+        for v in range(60):
+            fwd = max(
+                fwd,
+                sum(1 for u in g.neighbors_unsafe(v) if rank[u] > rank[v]),
+            )
+        assert fwd == degeneracy(g)
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_er_matches_naive(self, seed):
+        edges = gen.erdos_renyi(40, 100, seed=seed)
+        g = DynamicGraph(40, edges)
+        check_core_decomposition(g, core_decomposition(g))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_powerlaw_matches_naive(self, seed):
+        edges = gen.chung_lu(60, 180, seed=seed)
+        g = DynamicGraph(60, edges)
+        check_core_decomposition(g, core_decomposition(g))
+
+    def test_community_overlay_matches_naive(self):
+        edges = gen.community_overlay(80, 2, 12, 60, seed=7)
+        g = DynamicGraph(80, edges)
+        check_core_decomposition(g, core_decomposition(g))
+
+    def test_naive_on_triangle(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert naive_core_decomposition(g).tolist() == [2, 2, 2]
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=16))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=40)) if possible else []
+    return DynamicGraph(n, edges)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_matches_naive_reference(self, g):
+        check_core_decomposition(g, core_decomposition(g))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_coreness_bounded_by_degree(self, g):
+        cores = core_decomposition(g)
+        for v in range(g.num_vertices):
+            assert cores[v] <= g.degree(v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_kcore_has_min_degree_k(self, g):
+        cores = core_decomposition(g)
+        k = int(cores.max(initial=0))
+        members = {v for v in range(g.num_vertices) if cores[v] >= k}
+        for v in members:
+            induced = sum(1 for u in g.neighbors_unsafe(v) if u in members)
+            assert induced >= k
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), st.integers(min_value=0, max_value=10))
+    def test_adding_edges_never_decreases_coreness(self, g, seed):
+        before = core_decomposition(g).copy()
+        rng = np.random.default_rng(seed)
+        n = g.num_vertices
+        if n >= 2:
+            extra = [
+                (int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(5)
+            ]
+            g.insert_batch([(u, v) for u, v in extra if u != v])
+        after = core_decomposition(g)
+        assert np.all(after >= before)

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in-process (importing its ``main``) so failures
+surface as ordinary test failures with tracebacks.  The slow, measurement-
+heavy examples are capped to the fast ones here; the full set is exercised
+manually / by the bench pipeline.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "quickstart OK" in out
+
+    def test_linearizability_demo(self, capsys):
+        load_example("linearizability_demo").main()
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "Theorem 6.1" in out
+
+    def test_road_network_closures(self, capsys):
+        load_example("road_network_closures").main()
+        out = capsys.readouterr().out
+        assert "invariants hold" in out
+
+    def test_churn_pipeline(self, capsys):
+        load_example("churn_pipeline").main()
+        out = capsys.readouterr().out
+        assert "pipeline OK" in out
+
+    @pytest.mark.parametrize(
+        "name", ["social_network_monitor", "streaming_service"]
+    )
+    def test_measurement_examples_importable(self, name):
+        """The two measurement-heavy examples are compile/import-checked
+        here and executed by the bench pipeline."""
+        module = load_example(name)
+        assert callable(module.main)

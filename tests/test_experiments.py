@@ -1,0 +1,162 @@
+"""Integration tests for the experiment drivers (tiny configurations).
+
+These are the shape checks of the reproduction: each driver must produce
+rows whose relative ordering matches the paper's findings.  The benches run
+the same drivers at larger scale; these keep CI fast.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+TINY = E.ExperimentConfig(
+    datasets=("dblp",),
+    batch_size=2500,
+    num_readers=1,
+    trials=1,
+    error_sample_size=40,
+    thread_counts=(1, 4, 15),
+)
+
+
+@pytest.fixture(scope="module")
+def fig3_rows():
+    return E.fig3(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    return E.fig5(TINY)
+
+
+class TestTable1:
+    def test_rows_cover_requested_datasets(self):
+        rows = E.table1(["dblp", "ctr"])
+        assert [r.name for r in rows] == ["dblp", "ctr"]
+        for r in rows:
+            assert r.standin_vertices > 0
+            assert r.standin_max_k > 0
+            assert r.paper_max_k > 0
+
+    def test_road_standin_matches_paper_max_k(self):
+        (row,) = E.table1(["ctr"])
+        assert row.standin_max_k == row.paper_max_k == 3
+
+    def test_render(self):
+        text = R.render_table1(E.table1(["dblp"]))
+        assert "dblp" in text and "standin" in text
+
+
+class TestFig3Shape:
+    def test_all_impls_present(self, fig3_rows):
+        assert {r.impl for r in fig3_rows} == {"cplds", "nonsync", "syncreads"}
+
+    def test_cplds_orders_of_magnitude_below_syncreads(self, fig3_rows):
+        by = {(r.impl, r.phase): r.stats for r in fig3_rows}
+        for phase in ("insert",):
+            cp = by.get(("cplds", phase))
+            sr = by.get(("syncreads", phase))
+            assert cp and sr
+            assert sr.mean > 50 * cp.mean
+
+    def test_cplds_within_small_factor_of_nonsync(self, fig3_rows):
+        by = {(r.impl, r.phase): r.stats for r in fig3_rows}
+        cp = by.get(("cplds", "insert"))
+        ns = by.get(("nonsync", "insert"))
+        assert cp and ns
+        assert cp.mean <= 10 * ns.mean  # paper: <= 3.21; loose for CI noise
+
+    def test_render(self, fig3_rows):
+        assert "mean (us)" in R.render_fig3(fig3_rows)
+
+
+class TestFig4Shape:
+    def test_syncreads_latency_grows_with_batch_size(self):
+        rows = E.fig4(TINY, batch_sizes=(1000, 4000))
+        sr = {
+            r.batch_size: r.stats.mean
+            for r in rows
+            if r.impl == "syncreads"
+        }
+        assert len(sr) == 2
+        assert sr[4000] > sr[1000]
+
+    def test_render(self):
+        rows = E.fig4(TINY, batch_sizes=(2500,))
+        assert "batch size" in R.render_fig4(rows)
+
+
+class TestFig5Shape:
+    def test_nonsync_fastest_updates(self, fig5_rows):
+        by = {(r.impl, r.phase): r for r in fig5_rows}
+        cp = by[("cplds", "insert")]
+        ns = by[("nonsync", "insert")]
+        assert ns.mean <= cp.mean
+        # Paper: CPLDS update overhead at most ~1.5x; allow slack for the
+        # Python constant factors and GIL noise.
+        assert cp.mean <= 3.0 * ns.mean
+
+    def test_max_at_least_mean(self, fig5_rows):
+        for r in fig5_rows:
+            assert r.max >= r.mean
+
+    def test_render(self, fig5_rows):
+        assert "mean batch (ms)" in R.render_fig5(fig5_rows)
+
+
+class TestFig6Shape:
+    def test_cplds_within_bound_nonsync_exceeds(self):
+        rows = E.fig6(TINY.with_(datasets=("brain",)))
+        by = {(r.impl, r.phase): r for r in rows}
+        cp = by[("cplds", "insert")]
+        ns = by[("nonsync", "insert")]
+        assert cp.max_error <= cp.theoretical_bound + 1e-9
+        assert ns.max_error > cp.max_error
+
+    def test_flash_error_grows_with_clique_size(self):
+        rows = E.fig6_flash(clique_sizes=(30, 60), sample_stride=6)
+        ns = {r.clique_size: r.max_error for r in rows if r.impl == "nonsync"}
+        cp = {r.clique_size: r.max_error for r in rows if r.impl == "cplds"}
+        assert ns[60] > ns[30] > 2.0
+        for size, err in cp.items():
+            assert err <= 2.81, f"CPLDS exceeded bound at clique {size}"
+
+    def test_render(self):
+        rows = E.fig6_flash(clique_sizes=(20,), sample_stride=5)
+        assert "clique size" in R.render_fig6_flash(rows)
+
+
+class TestFig7Shape:
+    def test_throughput_rows_cover_sweeps(self):
+        rows = E.fig7(TINY)
+        dirs = {(r.impl, r.direction) for r in rows}
+        assert len(dirs) == 6  # 3 impls x 2 sweeps
+
+    def test_write_scaling_monotone(self):
+        rows = E.fig7(TINY)
+        cp = sorted(
+            (
+                (r.count, r.write_throughput)
+                for r in rows
+                if r.impl == "cplds" and r.direction == "writers"
+            )
+        )
+        tputs = [t for _, t in cp]
+        assert tputs == sorted(tputs)
+
+    def test_render(self):
+        rows = E.fig7(TINY.with_(thread_counts=(1, 15)))
+        assert "read tput" in R.render_fig7(rows)
+
+
+class TestHeadline:
+    def test_factors_computed(self, fig3_rows, fig5_rows):
+        rows6 = E.fig6(TINY.with_(datasets=("brain",)))
+        f = E.headline_factors(fig3_rows, fig5_rows, rows6)
+        assert f.latency_speedup_vs_syncreads > 10
+        assert 0 < f.latency_overhead_vs_nonsync < 10
+        assert 1 <= f.update_overhead_vs_nonsync < 4
+        assert f.accuracy_gain_vs_nonsync >= 1
+        text = R.render_headline(f)
+        assert "SyncReads" in text

@@ -1,0 +1,194 @@
+"""Tests for the §9 extensions: orientation, densest subgraph, vertex updates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPLDS
+from repro.errors import WorkloadError
+from repro.exact import degeneracy
+from repro.extensions import (
+    LowOutDegreeOrientation,
+    VertexUpdatableKCore,
+    densest_subgraph_estimate,
+    peeling_densest,
+)
+from repro.extensions.densest import subgraph_density
+from repro.graph import DynamicGraph
+from repro.graph import generators as gen
+
+
+def clique(n, offset=0):
+    return [(u + offset, v + offset) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestOrientation:
+    def _build(self, n, edges):
+        cp = CPLDS(n)
+        cp.insert_batch(edges)
+        return cp, LowOutDegreeOrientation(cp)
+
+    def test_every_edge_oriented_once(self):
+        cp, orient = self._build(20, gen.erdos_renyi(20, 60, seed=1))
+        oriented = list(orient.oriented_edges())
+        assert len(oriented) == cp.graph.num_edges
+        orient.check()
+
+    def test_direction_consistent_both_ways(self):
+        _, orient = self._build(6, clique(6))
+        for u, v in clique(6):
+            assert orient.direction(u, v) == orient.direction(v, u)
+
+    def test_out_degree_bounded_by_invariant(self):
+        cp, orient = self._build(60, gen.chung_lu(60, 240, seed=2))
+        orient.check()
+
+    def test_star_orients_toward_hub_level(self):
+        """In a star, leaves have out-degree <= 1 (the single hub edge)."""
+        n = 40
+        _, orient = self._build(n, [(0, i) for i in range(1, n)])
+        for leaf in range(1, n):
+            assert orient.out_degree(leaf) <= 1
+
+    def test_max_out_degree_near_degeneracy(self):
+        edges = gen.community_overlay(80, 2, 12, 60, seed=4)
+        cp, orient = self._build(80, edges)
+        alpha = degeneracy(cp.graph)
+        # O(alpha) with the (2+3/lambda)(1+delta) constant.
+        assert orient.max_out_degree() <= 4 * alpha + 4
+
+    def test_survives_deletions(self):
+        edges = gen.erdos_renyi(30, 120, seed=3)
+        cp, orient = self._build(30, edges)
+        cp.delete_batch(edges[::2])
+        orient.check()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_orientation_valid_on_random_graphs(self, seed):
+        edges = gen.erdos_renyi(15, 40, seed=seed)
+        _, orient = self._build(15, edges)
+        orient.check()
+
+
+class TestDensest:
+    def test_peeling_on_clique_plus_tail(self):
+        # K6 with a path of pendants: the densest subgraph is the clique.
+        edges = clique(6) + [(5, 6), (6, 7), (7, 8)]
+        res = peeling_densest(DynamicGraph(9, edges))
+        assert res.density == pytest.approx(15 / 6)
+        assert res.vertices == frozenset(range(6))
+
+    def test_peeling_empty(self):
+        assert peeling_densest(DynamicGraph(0)).density == 0.0
+
+    def test_subgraph_density_helper(self):
+        g = DynamicGraph(4, clique(4))
+        assert subgraph_density(g, set(range(4))) == pytest.approx(1.5)
+        assert subgraph_density(g, set()) == 0.0
+
+    def test_lds_estimate_close_to_peeling(self):
+        edges = gen.community_overlay(100, 2, 15, 80, seed=5)
+        cp = CPLDS(100)
+        cp.insert_batch(edges)
+        lds_res = densest_subgraph_estimate(cp)
+        ref = peeling_densest(cp.graph)
+        # Both are approximations of the same optimum; they must agree
+        # within the combined approximation factors.
+        assert lds_res.density >= ref.density / 6.0
+        assert lds_res.density <= 2.0 * ref.density + 1e-9
+
+    def test_estimate_density_is_exact_for_returned_set(self):
+        edges = gen.chung_lu(60, 240, seed=6)
+        cp = CPLDS(60)
+        cp.insert_batch(edges)
+        res = densest_subgraph_estimate(cp)
+        assert res.density == pytest.approx(
+            subgraph_density(cp.graph, res.vertices)
+        )
+
+    def test_empty_structure(self):
+        assert densest_subgraph_estimate(CPLDS(0)).density == 0.0
+
+    def test_estimate_tracks_deletions(self):
+        cp = CPLDS(30)
+        cp.insert_batch(clique(10))
+        dense_before = densest_subgraph_estimate(cp).density
+        cp.delete_batch(clique(10)[::2])
+        dense_after = densest_subgraph_estimate(cp).density
+        assert dense_after < dense_before
+
+
+class TestVertexUpdates:
+    def test_insert_and_read(self):
+        ku = VertexUpdatableKCore(10)
+        ku.insert_vertices([(0, []), (1, [0]), (2, [0, 1]), (3, [0, 1, 2])])
+        assert ku.num_active == 4
+        assert ku.read(3) >= 1.0
+        ku.check_invariants()
+
+    def test_inactive_reads_zero(self):
+        ku = VertexUpdatableKCore(4)
+        assert ku.read(2) == 0.0
+
+    def test_duplicate_activation_rejected(self):
+        ku = VertexUpdatableKCore(4)
+        ku.insert_vertices([(0, [])])
+        with pytest.raises(WorkloadError):
+            ku.insert_vertices([(0, [])])
+
+    def test_edge_to_inactive_rejected(self):
+        ku = VertexUpdatableKCore(4)
+        with pytest.raises(WorkloadError):
+            ku.insert_vertices([(0, [3])])
+
+    def test_same_batch_forward_reference_ok(self):
+        ku = VertexUpdatableKCore(4)
+        ku.insert_vertices([(0, []), (1, [0, 2]), (2, [])])
+        # 2 appears later in the batch but is allowed as a neighbour of 1...
+        assert ku.graph.has_edge(1, 2)
+
+    def test_delete_vertex_removes_all_edges(self):
+        ku = VertexUpdatableKCore(6)
+        ku.insert_vertices([(i, list(range(i))) for i in range(5)])
+        before = ku.graph.num_edges
+        removed = ku.delete_vertices([0])
+        assert removed == 4
+        assert ku.graph.num_edges == before - 4
+        assert not ku.is_active(0)
+        ku.check_invariants()
+
+    def test_delete_inactive_rejected(self):
+        ku = VertexUpdatableKCore(4)
+        with pytest.raises(WorkloadError):
+            ku.delete_vertices([1])
+
+    def test_reactivation_after_delete(self):
+        ku = VertexUpdatableKCore(4)
+        ku.insert_vertices([(0, []), (1, [0])])
+        ku.delete_vertices([0])
+        ku.insert_vertices([(0, [1])])
+        assert ku.graph.has_edge(0, 1)
+        assert ku.num_active == 2
+
+    def test_edge_updates_between_active(self):
+        ku = VertexUpdatableKCore(4)
+        ku.insert_vertices([(0, []), (1, []), (2, [])])
+        ku.insert_edges([(0, 1), (1, 2)])
+        with pytest.raises(WorkloadError):
+            ku.insert_edges([(0, 3)])
+        ku.delete_edges([(0, 1)])
+        assert not ku.graph.has_edge(0, 1)
+
+    def test_coreness_consistent_with_plain_cplds(self):
+        """Vertex batches compile to edge batches: same final estimates."""
+        edges = gen.erdos_renyi(12, 30, seed=7)
+        ref = CPLDS(12)
+        ref.insert_batch(edges)
+        ku = VertexUpdatableKCore(12)
+        adj = {v: [] for v in range(12)}
+        for u, v in edges:
+            adj[max(u, v)].append(min(u, v))
+        ku.insert_vertices([(v, adj[v]) for v in range(12)])
+        for v in range(12):
+            assert ku.read(v) == ref.read(v)

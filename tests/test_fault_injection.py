@@ -1,0 +1,125 @@
+"""Fault injection: batches that die mid-flight, and recovery.
+
+The paper's model excludes process failures (§2), so the contract here is
+*fail loudly, recover explicitly*: a batch killed mid-flight leaves the
+structure detectably inconsistent (leaked descriptors and/or invariant
+violations — never a silently wrong answer), and :meth:`CPLDS.rebuild`
+restores a consistent state from the surviving graph.
+"""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.graph import generators as gen
+from repro.lds.plds import UpdateHooks
+from repro.runtime.inject import HookChain
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class DieAfterMoves(UpdateHooks):
+    """Raise after the k-th vertex move of a batch."""
+
+    def __init__(self, k):
+        self.k = k
+        self.moves = 0
+
+    def before_move(self, v, old, new, phase):
+        self.moves += 1
+        if self.moves > self.k:
+            raise RuntimeError("injected fault")
+
+
+def wounded_cplds(n=10, k=5):
+    cp = CPLDS(n)
+    cp.insert_batch(clique(n)[: n])
+    cp.plds.hooks = HookChain(cp.plds.hooks, DieAfterMoves(k))
+    with pytest.raises(RuntimeError, match="injected fault"):
+        cp.insert_batch(clique(n)[n:])
+    cp.plds.hooks = cp.plds.hooks.hooks[0]  # remove the fault injector
+    return cp
+
+
+class TestFaultsAreLoud:
+    def test_mid_batch_death_leaves_detectable_state(self):
+        from repro.errors import InvariantViolation
+
+        cp = wounded_cplds()
+        with pytest.raises((AssertionError, InvariantViolation)):
+            cp.check_invariants()
+
+    def test_descriptors_cleaned_even_on_failure(self):
+        """The ``finally``-guarded unmark runs even when a batch dies, so no
+        stale old-level descriptors can poison later reads."""
+        cp = wounded_cplds()
+        assert all(s is None for s in cp.descriptors.slots)
+        assert cp.descriptors.marked_vertices == []
+
+    def test_checkpoint_refuses_wounded_structure(self, tmp_path):
+        from repro.errors import InvariantViolation
+        from repro.persist import save_cplds
+
+        cp = wounded_cplds()
+        with pytest.raises((AssertionError, InvariantViolation)):
+            save_cplds(cp, tmp_path / "no.npz")
+
+
+class TestRebuild:
+    def test_rebuild_restores_consistency(self):
+        cp = wounded_cplds()
+        cp.rebuild()
+        cp.check_invariants()
+
+    def test_rebuild_preserves_edges(self):
+        cp = wounded_cplds()
+        edges_before = sorted(cp.graph.edges())
+        cp.rebuild()
+        assert sorted(cp.graph.edges()) == edges_before
+
+    def test_rebuilt_estimates_match_fresh_structure(self):
+        n = 10
+        cp = wounded_cplds(n)
+        cp.rebuild()
+        fresh = CPLDS(n)
+        fresh.insert_batch(list(cp.graph.edges()))
+        exact_levels_ok = all(
+            cp.read(v) == fresh.read(v) for v in range(n)
+        )
+        # Same params, same single-batch replay => identical estimates.
+        assert exact_levels_ok
+
+    def test_rebuild_on_healthy_structure_is_idempotent(self):
+        n = 20
+        edges = gen.erdos_renyi(n, 70, seed=2)
+        cp = CPLDS(n)
+        cp.insert_batch(edges)
+        reads_before = [cp.read(v) for v in range(n)]
+        cp.rebuild()
+        cp.check_invariants()
+        # A rebuild replays everything as ONE batch; estimates may differ
+        # from the multi-batch history only within the approximation bound,
+        # and here (single prior batch) they are identical.
+        assert [cp.read(v) for v in range(n)] == reads_before
+
+    def test_structure_usable_after_rebuild(self):
+        cp = wounded_cplds()
+        cp.rebuild()
+        cp.insert_batch([(0, 1)])
+        cp.delete_batch([(0, 1)])
+        cp.check_invariants()
+
+    def test_reader_across_rebuild_retries_out(self):
+        """A stepped reader suspended across a rebuild must retry (the
+        rebuild counts as a batch for the sandwich), never mix states."""
+        from repro.runtime.stepping import SteppedRead
+
+        cp = wounded_cplds()
+        read = SteppedRead(cp, 0)
+        read.advance(2)  # b1 and l1 collected from the wounded state
+        cp.rebuild()
+        result = read.advance(10_000)
+        assert result is not None
+        assert result.retries >= 1
+        assert result.level == cp.plds.state.level[0]

@@ -1,0 +1,106 @@
+"""Full-stack stress: every concurrency feature enabled at once.
+
+ThreadedExecutor decision rounds + real reader threads + the coordinator's
+producer threads + history recording — the kitchen-sink configuration a
+downstream user could plausibly run.  Everything must stay linearizable and
+invariant-clean.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import CPLDS
+from repro.graph import generators as gen
+from repro.lds import LDSParams
+from repro.runtime.coordinator import BatchCoordinator
+from repro.runtime.executor import ThreadedExecutor
+from repro.verify import LinearizabilityChecker, RecordedKCore
+from repro.workloads import BatchStream, UniformReadGenerator
+
+
+class TestKitchenSink:
+    def test_threaded_executor_with_concurrent_readers(self):
+        n = 100
+        edges = gen.chung_lu(n, 600, seed=11)
+        stream = BatchStream.insert_then_delete("stress", n, edges, 150)
+        with ThreadedExecutor(num_threads=3) as ex:
+            impl = CPLDS(n, params=LDSParams(n, levels_per_group=20), executor=ex)
+            rec = RecordedKCore(impl)
+            stop = threading.Event()
+            errors = []
+
+            def reader(idx):
+                g = UniformReadGenerator(n, seed=idx)
+                try:
+                    for _ in range(3000):
+                        if stop.is_set():
+                            break
+                        rec.read(g.next())
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(i,), daemon=True)
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for batch in stream:
+                if batch.kind == "insert":
+                    rec.insert_batch(batch.edges)
+                else:
+                    rec.delete_batch(batch.edges)
+            stop.set()
+            for t in threads:
+                t.join(30)
+            assert not errors, errors
+            impl.check_invariants()
+            violations = LinearizabilityChecker(rec.history).violations()
+            assert violations == [], violations[:3]
+
+    def test_coordinator_over_threaded_executor(self):
+        n = 80
+        edges = gen.erdos_renyi(n, 400, seed=12)
+        with ThreadedExecutor(num_threads=2) as ex:
+            impl = CPLDS(n, params=LDSParams(n, levels_per_group=20), executor=ex)
+            with BatchCoordinator(impl, max_batch=64, max_delay=0.002) as coord:
+                producers = []
+
+                def producer(chunk):
+                    for u, v in chunk:
+                        coord.submit_insert(u, v)
+
+                for k in range(3):
+                    t = threading.Thread(target=producer, args=(edges[k::3],))
+                    producers.append(t)
+                    t.start()
+                for t in producers:
+                    t.join()
+                coord.flush()
+            impl.check_invariants()
+            assert impl.graph.num_edges == len(edges)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_repeated_stress_cycles_stay_clean(self, seed):
+        n = 60
+        edges = gen.community_overlay(n, 2, 10, 120, seed=seed)
+        impl = CPLDS(n, params=LDSParams(n, levels_per_group=10))
+        rec = RecordedKCore(impl)
+        stop = threading.Event()
+
+        def reader():
+            g = UniformReadGenerator(n, seed=seed)
+            while not stop.is_set():
+                rec.read(g.next())
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for _ in range(3):
+            rec.insert_batch(edges)
+            rec.delete_batch(edges)
+        stop.set()
+        t.join(30)
+        impl.check_invariants()
+        assert LinearizabilityChecker(rec.history).violations() == []
+        assert impl.levels() == [0] * n

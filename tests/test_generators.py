@@ -1,0 +1,126 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exact import degeneracy
+from repro.graph import DynamicGraph
+from repro.graph import generators as gen
+
+
+def assert_valid_edges(edges, n):
+    seen = set()
+    for u, v in edges:
+        assert 0 <= u < n and 0 <= v < n
+        assert u != v, "self-loop"
+        assert u <= v, "not canonical"
+        assert (u, v) not in seen, "duplicate"
+        seen.add((u, v))
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        edges = gen.erdos_renyi(50, 100, seed=1)
+        assert len(edges) == 100
+        assert_valid_edges(edges, 50)
+
+    def test_deterministic(self):
+        assert gen.erdos_renyi(30, 60, seed=7) == gen.erdos_renyi(30, 60, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert gen.erdos_renyi(30, 60, seed=1) != gen.erdos_renyi(30, 60, seed=2)
+
+    def test_caps_at_complete_graph(self):
+        edges = gen.erdos_renyi(5, 1000, seed=1)
+        assert len(edges) == 10
+
+    def test_tiny(self):
+        assert gen.erdos_renyi(1, 10) == []
+        assert gen.erdos_renyi(0, 10) == []
+
+
+class TestChungLu:
+    def test_edge_count_and_validity(self):
+        edges = gen.chung_lu(80, 200, seed=3)
+        assert_valid_edges(edges, 80)
+        assert len(edges) == 200
+
+    def test_degree_skew(self):
+        """Low-id vertices (heavy weights) should dominate the degree mass."""
+        edges = gen.chung_lu(200, 800, seed=5)
+        g = DynamicGraph(200, edges)
+        top = sum(g.degree(v) for v in range(20))
+        bottom = sum(g.degree(v) for v in range(180, 200))
+        assert top > 3 * bottom
+
+    def test_zero_edges(self):
+        assert gen.chung_lu(10, 0) == []
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_valid(self):
+        edges = gen.preferential_attachment(60, 3, seed=2)
+        assert_valid_edges(edges, 60)
+        g = DynamicGraph(60, edges)
+        assert all(g.degree(v) >= 3 for v in range(60))
+
+    def test_tiny_n_full_clique(self):
+        edges = gen.preferential_attachment(3, 5, seed=1)
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestRMAT:
+    def test_edge_count_and_range(self):
+        edges = gen.rmat(8, 300, seed=4)
+        assert_valid_edges(edges, 256)
+        assert len(edges) == 300
+
+    def test_skew_toward_low_quadrant(self):
+        edges = gen.rmat(8, 500, seed=4)
+        g = DynamicGraph(256, edges)
+        low = sum(g.degree(v) for v in range(64))
+        high = sum(g.degree(v) for v in range(192, 256))
+        assert low > high
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(4, 10, a=0.5, b=0.4, c=0.3)
+
+
+class TestGridRoad:
+    def test_pure_lattice_edge_count(self):
+        # rows*(cols-1) + cols*(rows-1) edges
+        edges = gen.grid_road(4, 5, diagonal_fraction=0.0)
+        assert len(edges) == 4 * 4 + 5 * 3
+        assert_valid_edges(edges, 20)
+
+    def test_pure_lattice_degeneracy_two(self):
+        g = DynamicGraph(48, gen.grid_road(6, 8, diagonal_fraction=0.0))
+        assert degeneracy(g) == 2
+
+    def test_diagonals_bounded(self):
+        edges = gen.grid_road(6, 6, diagonal_fraction=0.15, seed=2)
+        assert_valid_edges(edges, 36)
+
+
+class TestCommunityOverlay:
+    def test_contains_dense_pocket(self):
+        edges = gen.community_overlay(100, 2, 15, 80, seed=3)
+        g = DynamicGraph(100, edges)
+        assert degeneracy(g) >= 8  # near-clique of 15 at 0.85+ density
+
+    def test_valid(self):
+        assert_valid_edges(gen.community_overlay(50, 1, 10, 40, seed=1), 50)
+
+
+class TestSmallWorld:
+    def test_ring_degree(self):
+        edges = gen.small_world(30, 4, rewire=0.0, seed=1)
+        g = DynamicGraph(30, edges)
+        assert all(g.degree(v) == 4 for v in range(30))
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            gen.small_world(10, 3)
+
+    def test_rewired_still_valid(self):
+        assert_valid_edges(gen.small_world(40, 6, rewire=0.3, seed=5), 40)

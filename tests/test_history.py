@@ -1,0 +1,109 @@
+"""Tests for history recording (clock, records, RecordedKCore)."""
+
+import threading
+
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import HistoryError
+from repro.verify import History, LogicalClock, ReadRecord, RecordedKCore
+from repro.verify.history import BatchRecord
+
+
+class TestLogicalClock:
+    def test_ticks_monotonic(self):
+        clk = LogicalClock()
+        ticks = [clk.tick() for _ in range(5)]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 5
+
+    def test_now_does_not_advance(self):
+        clk = LogicalClock()
+        clk.tick()
+        assert clk.now() == 1
+        assert clk.now() == 1
+
+    def test_thread_safe_unique_ticks(self):
+        clk = LogicalClock()
+        seen = []
+
+        def worker():
+            for _ in range(500):
+                seen.append(clk.tick())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 2000
+
+
+class TestRecords:
+    def test_read_record_rejects_time_travel(self):
+        with pytest.raises(HistoryError):
+            ReadRecord(
+                vertex=0, invoked=5, responded=3, level=0,
+                from_descriptor=False, batch=1,
+            )
+
+    def test_batch_record_rejects_time_travel(self):
+        with pytest.raises(HistoryError):
+            BatchRecord(
+                index=1, kind="insert", started=9, ended=2,
+                levels_after=(0,), changed=frozenset(),
+            )
+
+    def test_level_versions_dedup(self):
+        h = History(initial_levels=(0, 0))
+        h.batches.append(
+            BatchRecord(
+                index=1, kind="insert", started=1, ended=2,
+                levels_after=(2, 0), changed=frozenset({0}),
+            )
+        )
+        h.batches.append(
+            BatchRecord(
+                index=2, kind="insert", started=3, ended=4,
+                levels_after=(2, 0), changed=frozenset(),
+            )
+        )
+        assert h.level_versions(0) == [(0, 0), (1, 2)]
+        assert h.level_versions(1) == [(0, 0)]
+
+
+class TestRecordedKCore:
+    def test_records_batches_and_reads(self):
+        rec = RecordedKCore(CPLDS(6))
+        rec.insert_batch([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        rec.read(0)
+        rec.read(3)
+        h = rec.history
+        assert len(h.batches) == 1
+        assert len(h.reads) == 2
+        batch = h.batches[0]
+        assert batch.kind == "insert"
+        assert batch.changed  # the clique moved vertices up
+        assert batch.started < batch.ended
+        assert all(r.invoked < r.responded for r in h.reads)
+
+    def test_dag_map_captured_from_cplds(self):
+        rec = RecordedKCore(CPLDS(6))
+        rec.insert_batch([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        batch = rec.history.batches[0]
+        assert batch.dag_of  # the clique batch creates at least one DAG
+        assert set(batch.dag_of) <= set(range(6))
+
+    def test_delete_batch_recorded(self):
+        rec = RecordedKCore(CPLDS(6))
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        rec.insert_batch(edges)
+        rec.delete_batch(edges)
+        assert [b.kind for b in rec.history.batches] == ["insert", "delete"]
+        assert rec.history.batches[1].levels_after == (0,) * 6
+
+    def test_read_passthrough_value(self):
+        cp = CPLDS(4)
+        rec = RecordedKCore(cp)
+        rec.insert_batch([(0, 1), (1, 2), (0, 2)])
+        assert rec.read(0) == cp.read(0)

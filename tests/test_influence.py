@@ -1,0 +1,106 @@
+"""Tests for the k-shell influence-ranking extension."""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.extensions.influence import (
+    exact_rank,
+    rank_by_coreness,
+    ranking_agreement,
+    shell_histogram,
+    spreading_power_proxy,
+    top_spreaders,
+)
+from repro.graph import generators as gen
+from repro.lds import LDSParams
+
+
+def loaded(n=200, seed=5):
+    edges = gen.community_overlay(n, 2, 20, 300, seed=seed)
+    cp = CPLDS(n, params=LDSParams(n, levels_per_group=20))
+    cp.insert_batch(edges)
+    return cp
+
+
+class TestRanking:
+    def test_rank_is_permutation(self):
+        cp = loaded()
+        ranking = rank_by_coreness(cp)
+        assert sorted(ranking) == list(range(cp.graph.num_vertices))
+
+    def test_rank_respects_estimates(self):
+        cp = loaded()
+        ranking = rank_by_coreness(cp)
+        ests = [cp.read(v) for v in ranking]
+        assert ests == sorted(ests, reverse=True)
+
+    def test_top_spreaders_slice(self):
+        cp = loaded()
+        assert top_spreaders(cp, 5) == rank_by_coreness(cp)[:5]
+        assert top_spreaders(cp, 0) == []
+        with pytest.raises(ValueError):
+            top_spreaders(cp, -1)
+
+    def test_deterministic(self):
+        cp = loaded()
+        assert rank_by_coreness(cp) == rank_by_coreness(cp)
+
+
+class TestAgreementWithExact:
+    def test_head_of_ranking_preserved(self):
+        """The (2+ε) estimates keep most of the exact top-k: community
+        members dominate both rankings."""
+        cp = loaded()
+        approx = rank_by_coreness(cp)
+        exact = exact_rank(cp.graph)
+        assert ranking_agreement(approx, exact, 20) >= 0.7
+
+    def test_agreement_bounds(self):
+        assert ranking_agreement([1, 2, 3], [3, 2, 1], 3) == 1.0
+        assert ranking_agreement([1, 2], [3, 4], 2) == 0.0
+        with pytest.raises(ValueError):
+            ranking_agreement([1], [1], 0)
+
+
+class TestShellsAndSpreading:
+    def test_shell_histogram_counts_everyone(self):
+        cp = loaded()
+        hist = shell_histogram(cp)
+        assert sum(hist.values()) == cp.graph.num_vertices
+        assert all(est >= 1.0 for est in hist)
+
+    def test_core_seeds_outspread_random_seeds(self):
+        cp = loaded(seed=8)
+        graph = cp.graph
+        core_seeds = top_spreaders(cp, 5)
+        tail_seeds = rank_by_coreness(cp)[-5:]
+        assert spreading_power_proxy(graph, core_seeds) > spreading_power_proxy(
+            graph, tail_seeds
+        )
+
+    def test_spreading_proxy_hops(self):
+        cp = loaded()
+        seeds = top_spreaders(cp, 3)
+        one = spreading_power_proxy(cp.graph, seeds, hops=1)
+        two = spreading_power_proxy(cp.graph, seeds, hops=2)
+        assert two >= one >= len(seeds)
+
+    def test_ranking_live_during_batch(self):
+        """The ranking can be computed mid-batch (reads are the protocol
+        reads), and returns only batch-boundary shells."""
+        from repro.runtime.inject import InjectionProbe, attach_probe
+
+        n = 40
+        cp = CPLDS(n, params=LDSParams(n, levels_per_group=4))
+        cp.insert_batch(gen.erdos_renyi(n, 80, seed=1))
+        boundary_shells = {cp.read(v) for v in range(n)}
+        observed = []
+
+        def on_point(_tag):
+            observed.extend(cp.read(v) for v in top_spreaders(cp, 5))
+
+        attach_probe(cp, InjectionProbe(on_point))
+        cp.insert_batch(gen.erdos_renyi(n, 80, seed=2))
+        boundary_shells |= {cp.read(v) for v in range(n)}
+        for est in observed:
+            assert est in boundary_shells

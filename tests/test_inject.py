@@ -1,0 +1,86 @@
+"""Tests for the deterministic injection plumbing."""
+
+from repro.core import CPLDS
+from repro.lds.plds import PLDS, UpdateHooks
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.inject import HookChain, InjectionProbe, ProbeExecutor, attach_probe
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class Recorder(UpdateHooks):
+    def __init__(self):
+        self.events = []
+
+    def batch_begin(self, kind, edges):
+        self.events.append(("begin", kind))
+
+    def before_move(self, v, old, new, phase):
+        self.events.append(("move", v))
+
+    def round_boundary(self):
+        self.events.append(("round",))
+
+    def batch_end(self):
+        self.events.append(("end",))
+
+
+class TestHookChain:
+    def test_fans_out_in_order(self):
+        a, b = Recorder(), Recorder()
+        chain = HookChain(a, b)
+        chain.batch_begin("insert", [(0, 1)])
+        chain.before_move(0, 0, 1, "insert")
+        chain.round_boundary()
+        chain.batch_end()
+        assert a.events == b.events
+        assert [e[0] for e in a.events] == ["begin", "move", "round", "end"]
+
+
+class TestInjectionProbe:
+    def test_round_points_tagged_with_phase(self):
+        tags = []
+        plds = PLDS(8, hooks=InjectionProbe(tags.append))
+        plds.batch_insert(clique(8))
+        assert tags
+        assert all(t == "insert:round" for t in tags)
+
+    def test_begin_end_points_optional(self):
+        tags = []
+        plds = PLDS(
+            8, hooks=InjectionProbe(tags.append, at_begin=True, at_end=True)
+        )
+        plds.batch_insert(clique(8))
+        assert tags[0] == "insert:begin"
+        assert tags[-1] == "insert:end"
+
+    def test_attach_probe_preserves_impl_hooks(self):
+        cp = CPLDS(8)
+        tags = []
+        attach_probe(cp, InjectionProbe(tags.append))
+        cp.insert_batch(clique(8))
+        assert tags, "probe never fired"
+        cp.check_invariants()  # CPLDS hooks still ran (no leaked marks)
+
+
+class TestProbeExecutor:
+    def test_round_callback(self):
+        points = []
+        ex = ProbeExecutor(SequentialExecutor(), points.append)
+        ex.run_round(lambda i: None, range(5))
+        assert points == ["round"]
+        assert ex.stats.rounds == 1
+
+    def test_per_item_callback(self):
+        points = []
+        ex = ProbeExecutor(SequentialExecutor(), points.append, per_item=True)
+        ex.run_round(lambda i: None, range(3))
+        assert points == ["item", "item", "item", "round"]
+
+    def test_work_still_executes(self):
+        out = []
+        ex = ProbeExecutor(SequentialExecutor(), lambda t: None, per_item=True)
+        ex.run_round(out.append, range(4))
+        assert out == [0, 1, 2, 3]

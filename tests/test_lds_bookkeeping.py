@@ -1,0 +1,232 @@
+"""Unit + property tests for the LevelState counter bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DynamicGraph
+from repro.lds.bookkeeping import LevelState
+from repro.lds.params import LDSParams
+
+
+def make_state(n=6, edges=(), levels_per_group=8):
+    g = DynamicGraph(n)
+    params = LDSParams(n, levels_per_group=levels_per_group)
+    st_ = LevelState(g, params)
+    for u, v in edges:
+        if g.insert_edge(u, v):
+            st_.on_edge_inserted(u, v)
+    return g, st_
+
+
+class TestEdgeBookkeeping:
+    def test_initial_counts_from_preexisting_graph(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2)])
+        state = LevelState(g, LDSParams(3))
+        assert state.up_deg == [1, 2, 1]
+
+    def test_mismatched_params_rejected(self):
+        g = DynamicGraph(3)
+        with pytest.raises(ValueError):
+            LevelState(g, LDSParams(4))
+
+    def test_insert_same_level_counts_both_up(self):
+        _, state = make_state(3, [(0, 1)])
+        assert state.up_deg[0] == 1
+        assert state.up_deg[1] == 1
+        assert state.down[0] == {}
+
+    def test_insert_across_levels(self):
+        g, state = make_state(3)
+        state.set_level(1, 5)
+        g.insert_edge(0, 1)
+        state.on_edge_inserted(0, 1)
+        assert state.up_deg[0] == 1  # 1 is above 0
+        assert state.up_deg[1] == 0
+        assert state.down[1] == {0: 1}
+
+    def test_delete_reverses_insert(self):
+        g, state = make_state(3, [(0, 1), (1, 2)])
+        g.delete_edge(0, 1)
+        state.on_edge_deleted(0, 1)
+        assert state.up_deg == [0, 1, 1]
+        state.assert_counters_consistent()
+
+
+class TestSetLevel:
+    def test_move_up_reclassifies_same_level_neighbors(self):
+        _, state = make_state(3, [(0, 1), (0, 2)])
+        state.set_level(0, 1)
+        # 1 and 2 are now below 0.
+        assert state.up_deg[0] == 0
+        assert state.down[0] == {0: 2}
+        # 0 is still an up-neighbour for 1 and 2.
+        assert state.up_deg[1] == 1
+        assert state.up_deg[2] == 1
+        state.assert_counters_consistent()
+
+    def test_move_down_reclassifies(self):
+        _, state = make_state(3, [(0, 1)])
+        state.set_level(0, 3)
+        state.set_level(0, 0)
+        assert state.up_deg[0] == 1
+        assert state.up_deg[1] == 1
+        assert state.down[1] == {}
+        state.assert_counters_consistent()
+
+    def test_noop_move(self):
+        _, state = make_state(2, [(0, 1)])
+        state.set_level(0, 0)
+        state.assert_counters_consistent()
+
+    def test_out_of_range_level_rejected(self):
+        _, state = make_state(2)
+        with pytest.raises(ValueError):
+            state.set_level(0, -1)
+        with pytest.raises(ValueError):
+            state.set_level(0, state.params.num_levels)
+
+    def test_multilevel_jump(self):
+        _, state = make_state(4, [(0, 1), (0, 2), (0, 3)])
+        state.set_level(1, 2)
+        state.set_level(2, 5)
+        state.set_level(0, 4)  # jumps over 1 and 2's levels
+        state.assert_counters_consistent()
+        assert state.up_deg[0] == 1  # only vertex 2 at level 5
+        assert state.down[0] == {2: 1, 0: 1}
+
+    def test_get_level_reads_live(self):
+        _, state = make_state(2)
+        assert state.get_level(0) == 0
+        state.set_level(0, 7)
+        assert state.get_level(0) == 7
+
+
+class TestInvariantPredicates:
+    def test_invariant1_violated_by_high_up_degree(self):
+        # Group 0 upper bound is 2 + 1/3, so 4 same-level neighbours violate.
+        _, state = make_state(5, [(0, i) for i in range(1, 5)])
+        assert not state.satisfies_invariant1(0)
+        assert state.satisfies_invariant1(1)
+
+    def test_invariant1_vacuous_at_top_level(self):
+        _, state = make_state(5, [(0, i) for i in range(1, 5)], levels_per_group=1)
+        state.set_level(0, state.params.max_level)
+        assert state.satisfies_invariant1(0)
+
+    def test_invariant2_trivial_at_level_zero(self):
+        _, state = make_state(2)
+        assert state.satisfies_invariant2(0)
+
+    def test_invariant2_violated_by_isolated_high_vertex(self):
+        _, state = make_state(2)
+        state.set_level(0, 3)
+        assert not state.satisfies_invariant2(0)
+
+    def test_invariant2_satisfied_with_support_below(self):
+        _, state = make_state(3, [(0, 1), (0, 2)])
+        state.set_level(0, 1)
+        # Neighbours at level 0 >= level 0 = ℓ−1: count 2 >= (1.2)^0 = 1.
+        assert state.satisfies_invariant2(0)
+
+
+class TestDesireLevel:
+    def test_desire_level_zero_vertex(self):
+        _, state = make_state(2)
+        assert state.desire_level(0) == 0
+
+    def test_satisfied_vertex_desires_current_level(self):
+        _, state = make_state(3, [(0, 1), (0, 2)])
+        state.set_level(0, 1)
+        assert state.desire_level(0) == 1
+
+    def test_unsupported_vertex_desires_zero(self):
+        _, state = make_state(2)
+        state.set_level(0, 6)
+        assert state.desire_level(0) == 0
+
+    def test_desire_level_lands_just_above_support(self):
+        # Vertex 0 high up with one neighbour at level 3: the highest level d
+        # with >= 1 neighbour at level >= d-1 is d = 4.
+        _, state = make_state(3, [(0, 1)])
+        state.set_level(1, 3)
+        state.set_level(0, 7)
+        assert state.desire_level(0) == 4
+
+    def test_desire_level_respects_group_thresholds(self):
+        # With levels_per_group=2, Invariant 2 at level 3 needs
+        # (1.2)^{group(2)} = 1.2 neighbours, i.e. at least 2.
+        _, state = make_state(4, [(0, 1), (0, 2)], levels_per_group=2)
+        state.set_level(1, 2)
+        state.set_level(2, 2)
+        state.set_level(0, 7)
+        # At d=3: neighbours >= 2 is 2 >= 1.2 -> satisfied.
+        assert state.desire_level(0) == 3
+
+    def test_desire_is_downward_closed_witness(self):
+        # The returned level must satisfy Invariant 2 while level+1 must not.
+        _, state = make_state(5, [(0, 1), (0, 2), (0, 3)])
+        state.set_level(1, 2)
+        state.set_level(2, 4)
+        state.set_level(0, 9)
+        d = state.desire_level(0)
+        state.set_level(0, d)
+        assert state.satisfies_invariant2(0)
+        if d + 1 < state.params.num_levels:
+            state.set_level(0, d + 1)
+            assert not state.satisfies_invariant2(0)
+
+
+@st.composite
+def level_scripts(draw):
+    """A random small graph plus a random sequence of level moves."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=12))
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=12,
+        )
+    )
+    return n, edges, moves
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(level_scripts())
+    def test_counters_consistent_after_arbitrary_moves(self, script):
+        n, edges, moves = script
+        _, state = make_state(n, edges, levels_per_group=4)
+        for v, lvl in moves:
+            state.set_level(v, min(lvl, state.params.max_level))
+        state.assert_counters_consistent()
+
+    @settings(max_examples=50, deadline=None)
+    @given(level_scripts())
+    def test_desire_level_is_max_feasible(self, script):
+        n, edges, moves = script
+        _, state = make_state(n, edges, levels_per_group=4)
+        for v, lvl in moves:
+            state.set_level(v, min(lvl, state.params.max_level))
+        for v in range(n):
+            lvl = state.level[v]
+            d = state.desire_level(v)
+            assert 0 <= d <= lvl
+            # Brute-force the definition.
+            def feasible(dd):
+                if dd == 0:
+                    return True
+                cnt = sum(
+                    1
+                    for w in state.graph.neighbors_unsafe(v)
+                    if state.level[w] >= dd - 1
+                )
+                return cnt >= state.params.lower_threshold(dd)
+
+            assert feasible(d)
+            for dd in range(d + 1, lvl + 1):
+                assert not feasible(dd)

@@ -1,0 +1,126 @@
+"""Unit tests for LDSParams: group arithmetic, thresholds, coreness formula."""
+
+import math
+
+import pytest
+
+from repro.lds import LDSParams
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        p = LDSParams(1000)
+        assert p.delta == 0.2
+        assert p.lam == 9.0
+        assert abs(p.theoretical_approximation_factor() - 2.8) < 1e-9
+
+    def test_group_count_is_log_base_1_plus_delta(self):
+        p = LDSParams(1000, delta=0.2)
+        expected = math.ceil(math.log(1000) / math.log(1.2))
+        assert p.num_groups == expected
+
+    def test_group_height_default_is_4_log(self):
+        p = LDSParams(1000, delta=0.2)
+        assert p.group_height == 4 * math.ceil(math.log(1000) / math.log(1.2))
+
+    def test_group_height_override(self):
+        p = LDSParams(1000, levels_per_group=20)
+        assert p.group_height == 20
+        assert p.num_levels == 20 * p.num_groups
+
+    def test_tiny_n_still_valid(self):
+        p = LDSParams(0)
+        assert p.num_levels >= 1
+        p = LDSParams(1)
+        assert p.num_groups >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vertices": -1},
+            {"num_vertices": 10, "delta": 0.0},
+            {"num_vertices": 10, "delta": -1.0},
+            {"num_vertices": 10, "lam": 0.0},
+            {"num_vertices": 10, "levels_per_group": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LDSParams(**kwargs)
+
+
+class TestGroupArithmetic:
+    def test_group_of_level(self):
+        p = LDSParams(100, levels_per_group=10)
+        assert p.group_of_level(0) == 0
+        assert p.group_of_level(9) == 0
+        assert p.group_of_level(10) == 1
+        assert p.group_of_level(p.max_level) == p.num_groups - 1
+
+    def test_group_of_level_out_of_range(self):
+        p = LDSParams(100, levels_per_group=10)
+        with pytest.raises(ValueError):
+            p.group_of_level(-1)
+        with pytest.raises(ValueError):
+            p.group_of_level(p.num_levels)
+
+    def test_max_level(self):
+        p = LDSParams(100, levels_per_group=5)
+        assert p.max_level == p.num_levels - 1
+
+
+class TestThresholds:
+    def test_upper_threshold_formula(self):
+        p = LDSParams(100, delta=0.2, lam=9.0, levels_per_group=10)
+        # Group 0: (2 + 3/9) * 1.2^0
+        assert p.upper_threshold(0) == pytest.approx(2 + 1 / 3)
+        # Group 2: (2 + 3/9) * 1.2^2
+        assert p.upper_threshold(25) == pytest.approx((2 + 1 / 3) * 1.2**2)
+
+    def test_lower_threshold_uses_group_of_level_below(self):
+        p = LDSParams(100, delta=0.2, levels_per_group=10)
+        # Level 10's lower bound uses group of level 9, which is group 0.
+        assert p.lower_threshold(10) == pytest.approx(1.0)
+        # Level 11's lower bound uses group of level 10 = group 1.
+        assert p.lower_threshold(11) == pytest.approx(1.2)
+
+    def test_lower_threshold_level_zero_is_trivial(self):
+        p = LDSParams(100)
+        assert p.lower_threshold(0) == 0.0
+
+    def test_thresholds_monotone_in_level(self):
+        p = LDSParams(500, levels_per_group=8)
+        uppers = [p.upper_threshold(l) for l in range(p.num_levels)]
+        lowers = [p.lower_threshold(l) for l in range(1, p.num_levels)]
+        assert uppers == sorted(uppers)
+        assert lowers == sorted(lowers)
+
+    def test_upper_always_exceeds_lower_same_level(self):
+        p = LDSParams(500, levels_per_group=8)
+        for lvl in range(1, p.num_levels):
+            assert p.upper_threshold(lvl) > p.lower_threshold(lvl)
+
+
+class TestCorenessEstimate:
+    def test_level_zero_estimates_one(self):
+        p = LDSParams(1000)
+        assert p.coreness_estimate(0) == 1.0
+
+    def test_estimate_is_geometric_in_group(self):
+        p = LDSParams(1000, delta=0.2, levels_per_group=10)
+        # Levels 0..8 -> exponent 0; level 9 starts exponent floor(10/10)-1=0;
+        # the first level with exponent 1 is level 19 ((19+1)//10 - 1 == 1).
+        assert p.coreness_estimate(8) == 1.0
+        assert p.coreness_estimate(19) == pytest.approx(1.2)
+        assert p.coreness_estimate(29) == pytest.approx(1.44)
+
+    def test_estimate_monotone_in_level(self):
+        p = LDSParams(200, levels_per_group=6)
+        ests = [p.coreness_estimate(l) for l in range(p.num_levels)]
+        assert ests == sorted(ests)
+
+    def test_estimate_never_below_one(self):
+        p = LDSParams(50, levels_per_group=3)
+        assert all(
+            p.coreness_estimate(l) >= 1.0 for l in range(p.num_levels)
+        )

@@ -1,0 +1,164 @@
+"""Tests for the sequential LDS: invariants, cascades, approximation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LDSError
+from repro.exact import core_decomposition
+from repro.graph import DynamicGraph
+from repro.graph import generators as gen
+from repro.lds import LDS, LDSParams
+from repro.lds.coreness import approximation_factor
+
+
+class TestBasics:
+    def test_empty_structure(self):
+        lds = LDS(4)
+        assert lds.levels() == [0, 0, 0, 0]
+        assert lds.coreness_estimate(0) == 1.0
+
+    def test_single_edge_no_move(self):
+        lds = LDS(4)
+        assert lds.insert_edge(0, 1) is True
+        assert lds.insert_edge(0, 1) is False
+        lds.check_invariants()
+
+    def test_delete_missing_edge(self):
+        lds = LDS(3)
+        assert lds.delete_edge(0, 1) is False
+
+    def test_adopting_nonempty_graph_rejected(self):
+        g = DynamicGraph(3, [(0, 1)])
+        with pytest.raises(LDSError):
+            LDS(3, graph=g)
+
+    def test_clique_raises_levels(self):
+        lds = LDS(8)
+        lds.insert_edges(
+            (u, v) for u in range(8) for v in range(u + 1, 8)
+        )
+        lds.check_invariants()
+        assert all(lds.level(v) > 0 for v in range(8))
+
+    def test_insert_then_delete_returns_to_ground(self):
+        lds = LDS(6)
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        lds.insert_edges(edges)
+        lds.delete_edges(edges)
+        lds.check_invariants()
+        assert lds.levels() == [0] * 6
+        assert lds.graph.num_edges == 0
+
+
+class TestInvariantsUnderChurn:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_insertions_keep_invariants(self, seed):
+        edges = gen.erdos_renyi(60, 240, seed=seed)
+        lds = LDS(60)
+        for i, e in enumerate(edges):
+            lds.insert_edge(*e)
+            if i % 60 == 0:
+                lds.check_invariants()
+        lds.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        edges = gen.chung_lu(50, 220, seed=9)
+        lds = LDS(50)
+        present = []
+        for i, e in enumerate(edges):
+            lds.insert_edge(*e)
+            present.append(e)
+            if i % 3 == 2:
+                victim = present.pop(0)
+                lds.delete_edge(*victim)
+        lds.check_invariants()
+
+    def test_shallow_override_keeps_invariants(self):
+        params = LDSParams(40, levels_per_group=4)
+        lds = LDS(40, params=params)
+        lds.insert_edges(gen.erdos_renyi(40, 150, seed=2))
+        lds.check_invariants()
+
+
+class TestApproximation:
+    def _max_error(self, lds, graph):
+        exact = core_decomposition(graph)
+        worst = 1.0
+        for v in range(graph.num_vertices):
+            if exact[v] >= 1:
+                worst = max(
+                    worst,
+                    approximation_factor(lds.coreness_estimate(v), int(exact[v])),
+                )
+        return worst
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_insertion_error_within_theoretical_bound(self, seed):
+        n = 120
+        edges = gen.chung_lu(n, 500, seed=seed)
+        lds = LDS(n)
+        lds.insert_edges(edges)
+        bound = lds.params.theoretical_approximation_factor()
+        assert self._max_error(lds, lds.graph) <= bound + 1e-9
+
+    def test_error_after_deletions_within_bound(self):
+        n = 100
+        edges = gen.erdos_renyi(n, 420, seed=4)
+        lds = LDS(n)
+        lds.insert_edges(edges)
+        lds.delete_edges(edges[::2])
+        bound = lds.params.theoretical_approximation_factor()
+        assert self._max_error(lds, lds.graph) <= bound + 1e-9
+
+    def test_estimates_monotone_with_level(self):
+        lds = LDS(30)
+        lds.insert_edges(gen.erdos_renyi(30, 100, seed=1))
+        for v in range(30):
+            for w in range(30):
+                if lds.level(v) >= lds.level(w):
+                    assert lds.coreness_estimate(v) >= lds.coreness_estimate(w)
+
+
+@st.composite
+def update_scripts(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    ops = draw(
+        st.lists(
+            st.tuples(st.booleans(), st.sampled_from(possible)),
+            max_size=30,
+        )
+    )
+    return n, ops
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(update_scripts())
+    def test_invariants_hold_after_any_script(self, script):
+        n, ops = script
+        lds = LDS(n, params=LDSParams(n, levels_per_group=3))
+        for is_insert, (u, v) in ops:
+            if is_insert:
+                lds.insert_edge(u, v)
+            else:
+                lds.delete_edge(u, v)
+        lds.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(update_scripts())
+    def test_estimate_bounded_for_any_script(self, script):
+        n, ops = script
+        lds = LDS(n)
+        for is_insert, (u, v) in ops:
+            if is_insert:
+                lds.insert_edge(u, v)
+            else:
+                lds.delete_edge(u, v)
+        exact = core_decomposition(lds.graph)
+        bound = lds.params.theoretical_approximation_factor()
+        for v in range(n):
+            if exact[v] >= 1:
+                err = approximation_factor(lds.coreness_estimate(v), int(exact[v]))
+                assert err <= bound + 1e-9

@@ -1,0 +1,99 @@
+"""Direct tests of Lemma 3.2's two-sided group statement.
+
+Lemma 3.2: if ``k(v) > (2+3/λ)(1+δ)^{g'}`` then ``k̂(v) >= (1+δ)^{g'}``;
+if ``k(v) < (1+δ)^{g'} / ((2+3/λ)(1+δ))`` then ``k̂(v) < (1+δ)^{g'}``.
+The approximation tests elsewhere check the derived symmetric bound; these
+check the lemma's own group-indexed form on steady states.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPLDS
+from repro.exact import core_decomposition
+from repro.graph import generators as gen
+from repro.lds import LDS, LDSParams
+
+
+def check_lemma(impl, params: LDSParams) -> None:
+    exact = core_decomposition(impl.graph)
+    c = 2.0 + 3.0 / params.lam
+    base = 1.0 + params.delta
+    n = impl.graph.num_vertices
+    for v in range(n):
+        k = int(exact[v])
+        k_hat = (
+            impl.read(v) if hasattr(impl, "read") else impl.coreness_estimate(v)
+        )
+        for gp in range(params.num_groups):
+            threshold = base**gp
+            if k > c * threshold:
+                assert k_hat >= threshold - 1e-9, (
+                    f"v={v}: k={k} > {c * threshold:.2f} but k̂={k_hat} < "
+                    f"(1+δ)^{gp}={threshold:.2f}"
+                )
+            if k < threshold / (c * base):
+                assert k_hat < threshold + 1e-9, (
+                    f"v={v}: k={k} < {threshold / (c * base):.2f} but "
+                    f"k̂={k_hat} >= (1+δ)^{gp}={threshold:.2f}"
+                )
+
+
+class TestLemma32:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cplds_batched_insertions(self, seed):
+        n = 100
+        cp = CPLDS(n)
+        edges = gen.chung_lu(n, 420, seed=seed)
+        for i in range(0, len(edges), 140):
+            cp.insert_batch(edges[i : i + 140])
+        check_lemma(cp, cp.params)
+
+    def test_cplds_after_deletions(self):
+        n = 80
+        cp = CPLDS(n)
+        edges = gen.erdos_renyi(n, 360, seed=4)
+        cp.insert_batch(edges)
+        cp.delete_batch(edges[::2])
+        check_lemma(cp, cp.params)
+
+    def test_sequential_lds(self):
+        n = 80
+        lds = LDS(n)
+        lds.insert_edges(gen.chung_lu(n, 300, seed=5))
+
+        class Shim:
+            graph = lds.graph
+
+            @staticmethod
+            def read(v):
+                return lds.coreness_estimate(v)
+
+        check_lemma(Shim, lds.params)
+
+    def test_dense_community(self):
+        n = 120
+        cp = CPLDS(n)
+        cp.insert_batch(gen.community_overlay(n, 2, 18, 150, seed=6))
+        check_lemma(cp, cp.params)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_states(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 24
+        cp = CPLDS(n)
+        possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for _ in range(2):
+            size = int(rng.integers(1, 40))
+            batch = [possible[i] for i in rng.integers(0, len(possible), size)]
+            if rng.random() < 0.7:
+                cp.insert_batch(batch)
+            else:
+                cp.delete_batch(batch)
+        check_lemma(cp, cp.params)

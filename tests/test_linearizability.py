@@ -1,0 +1,252 @@
+"""Linearizability: CPLDS passes, NonSync and the naive strawman fail.
+
+This is the reproduction of the paper's central safety claim (§6.1) and of
+the motivation for the dependency-DAG rule (§4): under deterministic
+mid-batch read injection,
+
+* the CPLDS produces histories with **zero** violations,
+* NonSync returns intermediate levels (rule A — the unbounded-error problem
+  of §6.3),
+* the §4 strawman (descriptors without DAGs) produces new-old inversions
+  inside a dependency chain (rule C).
+"""
+
+import pytest
+
+from repro.core import CPLDS, NaiveMarkedKCore, NonSyncKCore
+from repro.errors import NotLinearizable
+from repro.graph import generators as gen
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.inject import InjectionProbe, ProbeExecutor, attach_probe
+from repro.verify import LinearizabilityChecker, RecordedKCore
+from repro.verify.history import BatchRecord, History, ReadRecord
+
+
+def clique_edges(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def run_injected(impl, batches, read_vertices, *, per_item=False):
+    """Run batches with reads of ``read_vertices`` at every round boundary."""
+    rec = RecordedKCore(impl)
+
+    def on_point(_tag):
+        for v in read_vertices:
+            rec.read(v)
+
+    attach_probe(impl, InjectionProbe(on_point, at_begin=True, at_end=True))
+    if per_item:
+        impl.plds.executor = ProbeExecutor(
+            impl.plds.executor, on_point, per_item=True
+        )
+    for kind, edges in batches:
+        if kind == "insert":
+            rec.insert_batch(edges)
+        else:
+            rec.delete_batch(edges)
+        # Quiescent reads between batches.
+        for v in read_vertices:
+            rec.read(v)
+    return rec.history
+
+
+class TestCPLDSIsLinearizable:
+    def test_clique_insert_batch(self):
+        n = 8
+        history = run_injected(
+            CPLDS(n), [("insert", clique_edges(n))], list(range(n))
+        )
+        assert LinearizabilityChecker(history).violations() == []
+
+    def test_insert_then_delete_batches(self):
+        n = 10
+        edges = clique_edges(n)
+        history = run_injected(
+            CPLDS(n),
+            [("insert", edges), ("delete", edges[::2]), ("delete", edges[1::2])],
+            list(range(n)),
+        )
+        assert LinearizabilityChecker(history).violations() == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_batch_stream(self, seed):
+        n = 24
+        edges = gen.chung_lu(n, 120, seed=seed)
+        batches = []
+        for i in range(0, len(edges), 30):
+            batches.append(("insert", edges[i : i + 30]))
+        batches.append(("delete", edges[: len(edges) // 2]))
+        history = run_injected(CPLDS(n), batches, list(range(0, n, 2)))
+        assert LinearizabilityChecker(history).violations() == []
+
+    def test_per_item_unmark_interleaving(self):
+        """Reads between individual unmark steps still see atomic DAGs
+        (the root-first unmark ordering at work)."""
+        n = 9
+        history = run_injected(
+            CPLDS(n),
+            [("insert", clique_edges(n)), ("delete", clique_edges(n)[::3])],
+            list(range(n)),
+            per_item=True,
+        )
+        assert LinearizabilityChecker(history).violations() == []
+
+    def test_check_does_not_raise(self):
+        n = 6
+        history = run_injected(CPLDS(n), [("insert", clique_edges(n))], [0, 3])
+        LinearizabilityChecker(history).check()
+
+
+class TestNonSyncViolates:
+    def test_intermediate_levels_flagged(self):
+        """A cascading clique batch makes NonSync return levels that were
+        never current at any batch boundary (rule A)."""
+        n = 10
+        history = run_injected(
+            NonSyncKCore(n), [("insert", clique_edges(n))], list(range(n))
+        )
+        violations = LinearizabilityChecker(history).violations()
+        assert violations, "expected NonSync to violate linearizability"
+        assert any(v.rule == "A" for v in violations)
+
+    def test_check_raises(self):
+        n = 10
+        history = run_injected(
+            NonSyncKCore(n), [("insert", clique_edges(n))], list(range(n))
+        )
+        with pytest.raises(NotLinearizable):
+            LinearizabilityChecker(history).check()
+
+
+class TestNaiveStrawmanViolates:
+    def test_new_old_inversion_during_unmark(self):
+        """Reproduces the paper's §4 motivation: without DAG tracking, a pair
+        of reads interleaved into the unmark sequence observes a new-old
+        inversion within one causal chain."""
+        n = 8
+        impl = NaiveMarkedKCore(n)
+        rec = RecordedKCore(impl)
+        # Grow K8 edge by edge until the known cascading edge; (2, 3) then
+        # moves vertices {0, 1, 2, 3} in a single-edge batch: one causal DAG.
+        prefix = clique_edges(n)[:13]
+        for e in prefix:
+            rec.insert_batch([e])
+        before = impl.levels()
+
+        # Read every just-unmarked vertex and every still-marked vertex at
+        # each unmark step.
+        def on_unmark(_v):
+            for u in range(4):
+                rec.read(u)
+
+        impl.on_unmark_step = on_unmark
+        rec.insert_batch([(2, 3)])
+        after = impl.levels()
+        changed = [v for v in range(n) if before[v] != after[v]]
+        assert len(changed) >= 2, "test premise: the batch must cascade"
+
+        # The single updated edge makes every change causally dependent on
+        # it: the whole changed set is one dependency DAG.
+        rec.history.batches[-1].dag_of.update({v: changed[0] for v in changed})
+        violations = LinearizabilityChecker(rec.history).violations()
+        assert any(v.rule == "C" for v in violations), violations
+
+    def test_cplds_same_schedule_is_clean(self):
+        """The same adversarial schedule on the CPLDS yields no violations —
+        the root-first unmark + check_DAG machinery closes the window."""
+        n = 8
+        impl = CPLDS(n)
+        rec = RecordedKCore(impl)
+        prefix = clique_edges(n)[:13]
+        for e in prefix:
+            rec.insert_batch([e])
+
+        def on_point(_tag):
+            for u in range(4):
+                rec.read(u)
+
+        impl.plds.executor = ProbeExecutor(
+            SequentialExecutor(), on_point, per_item=True
+        )
+        rec.insert_batch([(2, 3)])
+        assert LinearizabilityChecker(rec.history).violations() == []
+
+
+class TestCheckerRulesDirectly:
+    """Hand-built histories exercising each rule in isolation."""
+
+    def _history(self, dag=True):
+        h = History(initial_levels=(0, 0))
+        h.batches.append(
+            BatchRecord(
+                index=1, kind="insert", started=10, ended=20,
+                levels_after=(4, 4), changed=frozenset({0, 1}),
+                dag_of={0: 0, 1: 0} if dag else {},
+            )
+        )
+        return h
+
+    def _read(self, v, inv, resp, level):
+        return ReadRecord(
+            vertex=v, invoked=inv, responded=resp, level=level,
+            from_descriptor=False, batch=1,
+        )
+
+    def test_rule_a_intermediate_value(self):
+        h = self._history()
+        h.reads.append(self._read(0, 12, 13, level=2))  # 2 never current
+        v = LinearizabilityChecker(h).violations()
+        assert [x.rule for x in v] == ["A"]
+
+    def test_rule_a_stale_value_after_window(self):
+        h = self._history()
+        h.reads.append(self._read(0, 25, 26, level=0))  # old value after end
+        v = LinearizabilityChecker(h).violations()
+        assert [x.rule for x in v] == ["A"]
+
+    def test_rule_b_new_then_old_same_vertex(self):
+        h = self._history(dag=False)
+        h.reads.append(self._read(0, 11, 12, level=4))  # definitely new
+        h.reads.append(self._read(0, 14, 15, level=0))  # definitely old, later
+        v = LinearizabilityChecker(h).violations()
+        assert [x.rule for x in v] == ["B"]
+
+    def test_rule_b_old_then_new_is_fine(self):
+        h = self._history()
+        h.reads.append(self._read(0, 11, 12, level=0))
+        h.reads.append(self._read(0, 14, 15, level=4))
+        assert LinearizabilityChecker(h).violations() == []
+
+    def test_rule_b_overlapping_reads_unordered(self):
+        h = self._history()
+        h.reads.append(self._read(0, 11, 15, level=4))
+        h.reads.append(self._read(0, 12, 16, level=0))  # overlaps: allowed
+        assert LinearizabilityChecker(h).violations() == []
+
+    def test_rule_c_cross_vertex_inversion(self):
+        h = self._history()
+        h.reads.append(self._read(0, 11, 12, level=4))  # new value of 0
+        h.reads.append(self._read(1, 14, 15, level=0))  # old value of 1
+        v = LinearizabilityChecker(h).violations()
+        assert [x.rule for x in v] == ["C"]
+
+    def test_rule_c_requires_same_dag(self):
+        h = self._history()
+        h.batches[0].dag_of.update({0: 0, 1: 1})  # different DAGs
+        h.reads.append(self._read(0, 11, 12, level=4))
+        h.reads.append(self._read(1, 14, 15, level=0))
+        assert LinearizabilityChecker(h).violations() == []
+
+    def test_rule_c_overlap_allowed(self):
+        h = self._history()
+        h.reads.append(self._read(0, 11, 14, level=4))
+        h.reads.append(self._read(1, 13, 15, level=0))  # overlaps the first
+        assert LinearizabilityChecker(h).violations() == []
+
+    def test_clean_history_no_violations(self):
+        h = self._history()
+        h.reads.append(self._read(0, 5, 6, level=0))    # before batch
+        h.reads.append(self._read(0, 12, 13, level=0))  # old during batch
+        h.reads.append(self._read(1, 16, 17, level=4))  # new during batch
+        h.reads.append(self._read(1, 25, 26, level=4))  # after batch
+        assert LinearizabilityChecker(h).violations() == []

@@ -1,0 +1,117 @@
+"""Focused tests of the paper's trigger rules (Algorithm 2, §5.2).
+
+Insertions: "the set of triggers contains all marked neighbors of v at the
+same level or higher level as v".  Deletions: "all marked neighbors of v at
+any level lower than ℓ(v) − 1".  These tests drive hand-built scenarios
+through the CPLDS and inspect the resulting DAG partitions.
+"""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.graph import generators as gen
+from repro.lds import LDSParams
+from repro.runtime.inject import InjectionProbe, attach_probe
+
+
+def clique(n, offset=0):
+    return [
+        (u + offset, v + offset)
+        for u in range(n)
+        for v in range(u + 1, n)
+    ]
+
+
+class TestInsertTriggers:
+    def test_cascade_chain_forms_one_dag(self):
+        """A single inserted edge whose cascade drags neighbours along
+        produces one DAG containing every mover."""
+        n = 8
+        cp = CPLDS(n)
+        for e in clique(n)[:13]:
+            cp.insert_batch([e])
+        cp.insert_batch([(2, 3)])
+        if cp.last_batch_marked >= 2:
+            assert cp.last_batch_dags == 1
+
+    def test_disjoint_components_form_disjoint_dags(self):
+        """Two far-apart cliques inserted in one batch cannot share causal
+        structure: their movers land in different DAGs."""
+        n = 20
+        cp = CPLDS(n)
+        batch = clique(6) + clique(6, offset=10)
+        cp.insert_batch(batch)
+        dag = cp.last_batch_dag_map
+        left_roots = {dag[v] for v in dag if v < 6}
+        right_roots = {dag[v] for v in dag if v >= 10}
+        assert left_roots and right_roots
+        assert left_roots.isdisjoint(right_roots)
+
+    def test_batch_edge_between_components_merges_dags(self):
+        """Adding a batch edge across the two cliques forces their movers
+        into one DAG (Lemma 6.3's marked-batch-neighbour rule)."""
+        n = 20
+        cp = CPLDS(n)
+        batch = clique(6) + clique(6, offset=10) + [(0, 10)]
+        cp.insert_batch(batch)
+        dag = cp.last_batch_dag_map
+        if 0 in dag and 10 in dag:
+            assert dag[0] == dag[10]
+
+
+class TestDeleteTriggers:
+    def _core_with_support(self):
+        """A clique whose deletion cascades through dependent vertices."""
+        n = 12
+        cp = CPLDS(n, params=LDSParams(n, levels_per_group=4))
+        cp.insert_batch(clique(n))
+        return cp, n
+
+    def test_delete_cascade_forms_dags(self):
+        cp, n = self._core_with_support()
+        cp.delete_batch(clique(n)[: 3 * n])
+        if cp.last_batch_marked >= 2:
+            assert cp.last_batch_dags >= 1
+            assert set(cp.last_batch_dag_map) <= set(range(n))
+
+    def test_delete_dag_members_all_moved_down(self):
+        cp, n = self._core_with_support()
+        before = cp.levels()
+        cp.delete_batch(clique(n)[: 3 * n])
+        after = cp.levels()
+        for v in cp.last_batch_dag_map:
+            assert after[v] < before[v]
+
+    def test_mixed_far_apart_deletions_do_not_merge(self):
+        n = 24
+        cp = CPLDS(n, params=LDSParams(n, levels_per_group=4))
+        cp.insert_batch(clique(8) + clique(8, offset=12))
+        cp.delete_batch(clique(8)[:10] + clique(8, offset=12)[:10])
+        dag = cp.last_batch_dag_map
+        left = {dag[v] for v in dag if v < 8}
+        right = {dag[v] for v in dag if v >= 12}
+        assert left.isdisjoint(right)
+
+
+class TestMarkedReadsHonorTriggers:
+    def test_whole_dag_reads_old_until_batch_ends(self):
+        """While any DAG member is mid-move, reads of *all* members return
+        pre-batch levels (the DAG atomicity rule from the reader's side)."""
+        n = 10
+        cp = CPLDS(n)
+        cp.insert_batch(clique(n)[:20])
+        pre = cp.levels()
+        observations = []
+
+        def on_point(_tag):
+            dag = {}
+            for v in range(n):
+                d = cp.descriptors.get(v)
+                if d is not None:
+                    observations.append((v, cp.read_verbose(v).level))
+
+        attach_probe(cp, InjectionProbe(on_point))
+        cp.insert_batch(clique(n)[20:])
+        assert observations
+        for v, lvl in observations:
+            assert lvl == pre[v]

@@ -1,0 +1,104 @@
+"""Targeted tests for less-travelled paths across modules."""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.core.marking import DescriptorTable
+from repro.graph import generators as gen
+from repro.harness import experiments as E
+from repro.runtime.sim import SimSession, ceil_div
+from repro.workloads import BatchStream
+
+
+class TestMarkingEdgeCases:
+    def test_find_root_on_unmarked_rejected(self):
+        t = DescriptorTable(3)
+        with pytest.raises(ValueError, match="unmarked"):
+            t._find_root(0)
+
+    def test_dag_members_skips_cleared_slots(self):
+        t = DescriptorTable(4)
+        t.mark(0, old_level=0, related=[], batch=1)
+        t.mark(1, old_level=0, related=[0], batch=1)
+        t.slots[1] = None  # simulate a partial unmark
+        assert t.dag_members() == {0: [0]}
+
+    def test_merge_empty_related_returns_none(self):
+        t = DescriptorTable(2)
+        assert t._merge_dags([]) is None
+
+    def test_add_dependencies_empty_is_noop(self):
+        t = DescriptorTable(2)
+        t.mark(0, old_level=0, related=[], batch=1)
+        t.add_dependencies(0, [])
+        assert t.get(0).is_root()
+
+
+class TestExperimentConfig:
+    def test_with_override(self):
+        cfg = E.QUICK.with_(trials=7)
+        assert cfg.trials == 7
+        assert E.QUICK.trials != 7  # frozen original untouched
+
+    def test_make_impl_unknown_kind(self):
+        with pytest.raises(ValueError, match="impl kind"):
+            E.make_impl("quantum", 4, E.QUICK)
+
+    def test_full_config_covers_all_datasets(self):
+        from repro.graph import datasets as ds
+
+        assert set(E.FULL.datasets) == set(ds.names())
+
+
+class TestSimExtras:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_zero_readers_session(self):
+        edges = gen.erdos_renyi(30, 60, seed=1)
+        stream = BatchStream.insert_only("s", 30, edges, 30)
+        res = SimSession(CPLDS(30), "cplds", num_readers=0).run(stream)
+        assert res.total_reads == 0
+        assert res.read_throughput() == 0.0
+
+    def test_read_latency_sample_cap(self):
+        edges = gen.erdos_renyi(60, 400, seed=2)
+        stream = BatchStream.insert_only("s", 60, edges, 100)
+        res = SimSession(CPLDS(60), "cplds", num_readers=15).run(stream)
+        # Samples are capped per batch, counts are not.
+        assert res.total_reads >= len(res.read_latencies)
+
+
+class TestPersistExtras:
+    def test_save_without_verify_allows_wounded(self, tmp_path):
+        from repro.persist import save_cplds
+
+        cp = CPLDS(6)
+        cp.insert_batch([(0, 1), (1, 2)])
+        # Corrupt a level to fake a wounded-but-unmarked structure.
+        cp.plds.state.level[0] = 5
+        save_cplds(cp, tmp_path / "wounded.npz", verify=False)
+        assert (tmp_path / "wounded.npz").exists()
+
+    def test_load_rejects_invalid_levels(self, tmp_path):
+        from repro.errors import InvariantViolation
+        from repro.persist import load_cplds, save_cplds
+
+        cp = CPLDS(6)
+        cp.insert_batch([(0, 1), (1, 2)])
+        cp.plds.state.level[0] = 5
+        save_cplds(cp, tmp_path / "wounded.npz", verify=False)
+        with pytest.raises((AssertionError, InvariantViolation)):
+            load_cplds(tmp_path / "wounded.npz")
+
+
+class TestBatchStreamExtras:
+    def test_only_on_empty_kind(self):
+        stream = BatchStream.insert_only("s", 5, [(0, 1)], 1)
+        assert len(stream.only("delete")) == 0
+
+    def test_stream_name_propagates(self):
+        stream = BatchStream.insert_only("myname", 5, [(0, 1)], 1)
+        assert stream.only("insert").name == "myname:insert"

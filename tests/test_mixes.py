@@ -1,0 +1,87 @@
+"""Tests for mixed-batch pre-processing and the churn stream generator."""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import WorkloadError
+from repro.graph import generators as gen
+from repro.workloads.mixes import (
+    MixedBatch,
+    MixedStreamGenerator,
+    preprocess_mixed_batch,
+)
+
+
+class TestPreprocess:
+    def test_plain_split(self):
+        b = preprocess_mixed_batch([("+", (0, 1)), ("-", (2, 3)), ("+", (4, 5))])
+        assert b.insertions == ((0, 1), (4, 5))
+        assert b.deletions == ((2, 3),)
+        assert len(b) == 3
+
+    def test_later_op_supersedes(self):
+        b = preprocess_mixed_batch([("+", (0, 1)), ("-", (1, 0))])
+        assert b.insertions == ()
+        assert b.deletions == ((0, 1),)
+
+    def test_delete_then_insert_collapses_to_insert(self):
+        b = preprocess_mixed_batch([("-", (0, 1)), ("+", (0, 1))])
+        assert b.insertions == ((0, 1),)
+        assert b.deletions == ()
+
+    def test_canonicalisation(self):
+        b = preprocess_mixed_batch([("+", (5, 2))])
+        assert b.insertions == ((2, 5),)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            preprocess_mixed_batch([("*", (0, 1))])
+
+    def test_empty(self):
+        b = preprocess_mixed_batch([])
+        assert len(b) == 0
+
+
+class TestMixedStream:
+    def test_window_shape(self):
+        edges = [(i, i + 1) for i in range(40)]
+        stream = list(MixedStreamGenerator(edges, batch_size=10, window=2, seed=1))
+        # 4 arrival batches + 2 drain batches.
+        assert len(stream) == 6
+        assert all(isinstance(b, MixedBatch) for b in stream)
+        # First `window` batches have no departures.
+        assert stream[0].deletions == ()
+        assert stream[1].deletions == ()
+        assert stream[2].deletions != ()
+        # Drain batches have no arrivals.
+        assert stream[-1].insertions == ()
+
+    def test_conservation(self):
+        """Every edge that arrives eventually departs."""
+        edges = [(i, i + 1) for i in range(35)]
+        stream = list(MixedStreamGenerator(edges, batch_size=8, window=3, seed=2))
+        arrived = [e for b in stream for e in b.insertions]
+        departed = [e for b in stream for e in b.deletions]
+        assert sorted(arrived) == sorted(departed)
+
+    def test_apply_all_returns_graph_to_empty(self):
+        n = 50
+        edges = gen.erdos_renyi(n, 200, seed=3)
+        cp = CPLDS(n)
+        gen_stream = MixedStreamGenerator(edges, batch_size=40, window=2, seed=3)
+        ins, dels = gen_stream.apply_all(cp)
+        assert ins == dels == len(edges)
+        assert cp.graph.num_edges == 0
+        cp.check_invariants()
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            MixedStreamGenerator([], batch_size=0)
+        with pytest.raises(WorkloadError):
+            MixedStreamGenerator([], batch_size=1, window=0)
+
+    def test_deterministic(self):
+        edges = [(i, i + 1) for i in range(30)]
+        a = list(MixedStreamGenerator(edges, 7, window=2, seed=5))
+        b = list(MixedStreamGenerator(edges, 7, window=2, seed=5))
+        assert a == b

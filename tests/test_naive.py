@@ -1,0 +1,59 @@
+"""Tests for the §4 strawman structure."""
+
+from repro.core import NaiveMarkedKCore
+from repro.core.descriptor import UNMARKED
+from repro.graph import generators as gen
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestNaive:
+    def test_basic_reads(self):
+        nv = NaiveMarkedKCore(6)
+        nv.insert_batch(clique(6))
+        assert nv.read(0) >= 1.0
+        assert nv.read_verbose(0).from_descriptor is False
+
+    def test_marks_cleared_after_batch(self):
+        nv = NaiveMarkedKCore(8)
+        nv.insert_batch(clique(8))
+        assert all(s is UNMARKED for s in nv.slots)
+
+    def test_unmark_hook_fires_per_vertex(self):
+        nv = NaiveMarkedKCore(8)
+        cleared = []
+        nv.on_unmark_step = cleared.append
+        nv.insert_batch(clique(8))
+        assert cleared, "no vertex unmarked"
+        assert len(cleared) == len(set(cleared))
+
+    def test_marked_reads_return_old_level_single_vertex(self):
+        """Per-vertex atomicity still holds in the strawman (its failure is
+        only *cross*-vertex)."""
+        nv = NaiveMarkedKCore(8)
+        nv.insert_batch(clique(8)[:10])
+        pre = nv.levels()
+        seen = []
+
+        def on_point(_tag):
+            for v in range(8):
+                if nv.slots[v] is not UNMARKED:
+                    seen.append((v, nv.read_verbose(v)))
+
+        from repro.runtime.inject import InjectionProbe, attach_probe
+
+        attach_probe(nv, InjectionProbe(on_point))
+        nv.insert_batch(clique(8)[10:])
+        assert seen
+        for v, r in seen:
+            assert r.from_descriptor
+            assert r.level == pre[v]
+
+    def test_update_path_valid(self):
+        nv = NaiveMarkedKCore(30)
+        edges = gen.erdos_renyi(30, 120, seed=7)
+        nv.insert_batch(edges)
+        nv.delete_batch(edges[::2])
+        nv.check_invariants()

@@ -1,0 +1,88 @@
+"""Tests for CPLDS checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import BatchInProgressError, ReproError
+from repro.graph import generators as gen
+from repro.lds import LDSParams
+from repro.persist import load_cplds, save_cplds
+
+
+def build(n=40, m=160, seed=3, levels_per_group=20):
+    cp = CPLDS(n, params=LDSParams(n, levels_per_group=levels_per_group))
+    edges = gen.chung_lu(n, m, seed=seed)
+    cp.insert_batch(edges[: m // 2])
+    cp.insert_batch(edges[m // 2 :])
+    cp.delete_batch(edges[::5])
+    return cp
+
+
+class TestRoundTrip:
+    def test_reads_identical_after_restore(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        restored = load_cplds(path)
+        assert restored.levels() == cp.levels()
+        for v in range(cp.graph.num_vertices):
+            assert restored.read(v) == cp.read(v)
+
+    def test_graph_restored(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        restored = load_cplds(path)
+        assert sorted(restored.graph.edges()) == sorted(cp.graph.edges())
+
+    def test_batch_number_preserved(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        assert load_cplds(path).batch_number == cp.batch_number
+
+    def test_restored_structure_accepts_updates(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        restored = load_cplds(path)
+        restored.insert_batch([(0, 1), (1, 2)])
+        restored.delete_batch([(0, 1)])
+        restored.check_invariants()
+
+    def test_params_preserved(self, tmp_path):
+        cp = build(levels_per_group=12)
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        restored = load_cplds(path)
+        assert restored.params.group_height == 12
+        assert restored.params.delta == cp.params.delta
+
+    def test_empty_structure(self, tmp_path):
+        cp = CPLDS(5)
+        path = tmp_path / "empty.npz"
+        save_cplds(cp, path)
+        restored = load_cplds(path)
+        assert restored.graph.num_edges == 0
+        assert restored.levels() == [0] * 5
+
+
+class TestGuards:
+    def test_mid_batch_checkpoint_rejected(self, tmp_path):
+        cp = CPLDS(6)
+        # Forge an in-flight descriptor.
+        cp.descriptors.mark(2, old_level=0, related=[], batch=1)
+        with pytest.raises(BatchInProgressError):
+            save_cplds(cp, tmp_path / "bad.npz")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["format_version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ReproError):
+            load_cplds(path)

@@ -1,0 +1,291 @@
+"""Tests for the batch-dynamic PLDS: phases, hooks, parity with the LDS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import core_decomposition
+from repro.graph import generators as gen
+from repro.lds import LDS, PLDS, LDSParams
+from repro.lds.coreness import approximation_factor
+from repro.lds.plds import UpdateHooks
+from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
+
+
+class TestBatchInsert:
+    def test_empty_batch(self):
+        plds = PLDS(4)
+        assert plds.batch_insert([]) == 0
+        assert plds.last_batch_rounds == 0
+
+    def test_duplicate_edges_filtered(self):
+        plds = PLDS(4)
+        assert plds.batch_insert([(0, 1), (1, 0), (0, 1)]) == 1
+        assert plds.batch_insert([(0, 1)]) == 0
+
+    def test_invariants_after_single_batch(self):
+        plds = PLDS(80)
+        plds.batch_insert(gen.erdos_renyi(80, 320, seed=1))
+        plds.check_invariants()
+
+    def test_invariants_across_many_batches(self):
+        edges = gen.chung_lu(70, 400, seed=2)
+        plds = PLDS(70)
+        for i in range(0, len(edges), 40):
+            plds.batch_insert(edges[i : i + 40])
+            plds.check_invariants()
+
+    def test_dense_clique_batch(self):
+        n = 12
+        plds = PLDS(n)
+        plds.batch_insert((u, v) for u in range(n) for v in range(u + 1, n))
+        plds.check_invariants()
+        assert min(plds.level(v) for v in range(n)) > 0
+
+
+class TestBatchDelete:
+    def test_delete_absent_edges(self):
+        plds = PLDS(4)
+        assert plds.batch_delete([(0, 1)]) == 0
+
+    def test_delete_everything_returns_to_ground(self):
+        edges = gen.erdos_renyi(30, 120, seed=3)
+        plds = PLDS(30)
+        plds.batch_insert(edges)
+        plds.batch_delete(edges)
+        plds.check_invariants()
+        assert plds.levels() == [0] * 30
+
+    def test_partial_delete_keeps_invariants(self):
+        edges = gen.chung_lu(60, 300, seed=4)
+        plds = PLDS(60)
+        plds.batch_insert(edges)
+        plds.batch_delete(edges[::3])
+        plds.check_invariants()
+
+    def test_alternating_insert_delete_batches(self):
+        edges = gen.erdos_renyi(50, 260, seed=5)
+        plds = PLDS(50)
+        half = len(edges) // 2
+        plds.batch_insert(edges[:half])
+        plds.batch_delete(edges[: half // 2])
+        plds.batch_insert(edges[half:])
+        plds.batch_delete(edges[half // 2 : half])
+        plds.check_invariants()
+
+
+class TestMixedBatch:
+    def test_apply_batch_both_phases(self):
+        edges = gen.erdos_renyi(40, 160, seed=6)
+        plds = PLDS(40)
+        plds.batch_insert(edges[:100])
+        ins, dels = plds.apply_batch(insertions=edges[100:], deletions=edges[:30])
+        assert ins == 60
+        assert dels == 30
+        plds.check_invariants()
+
+    def test_apply_batch_empty(self):
+        plds = PLDS(4)
+        assert plds.apply_batch() == (0, 0)
+
+
+class TestApproximation:
+    def _max_error(self, plds):
+        exact = core_decomposition(plds.graph)
+        worst = 1.0
+        for v in range(plds.graph.num_vertices):
+            if exact[v] >= 1:
+                worst = max(
+                    worst,
+                    approximation_factor(plds.coreness_estimate(v), int(exact[v])),
+                )
+        return worst
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_insertions_respect_bound(self, seed):
+        n = 120
+        edges = gen.chung_lu(n, 480, seed=seed)
+        plds = PLDS(n)
+        for i in range(0, len(edges), 120):
+            plds.batch_insert(edges[i : i + 120])
+        bound = plds.params.theoretical_approximation_factor()
+        assert self._max_error(plds) <= bound + 1e-9
+
+    def test_batched_deletions_respect_bound(self):
+        n = 90
+        edges = gen.erdos_renyi(n, 400, seed=7)
+        plds = PLDS(n)
+        plds.batch_insert(edges)
+        plds.batch_delete(edges[::2])
+        bound = plds.params.theoretical_approximation_factor()
+        assert self._max_error(plds) <= bound + 1e-9
+
+
+class TestLDSParity:
+    """PLDS and sequential LDS agree on invariant-valid states and estimates."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_estimates_bounds_as_sequential(self, seed):
+        n = 60
+        edges = gen.erdos_renyi(n, 250, seed=seed)
+        lds = LDS(n)
+        lds.insert_edges(edges)
+        plds = PLDS(n)
+        plds.batch_insert(edges)
+        exact = core_decomposition(plds.graph)
+        for v in range(n):
+            if exact[v] >= 1:
+                e1 = approximation_factor(lds.coreness_estimate(v), int(exact[v]))
+                e2 = approximation_factor(plds.coreness_estimate(v), int(exact[v]))
+                bound = plds.params.theoretical_approximation_factor()
+                assert e1 <= bound + 1e-9
+                assert e2 <= bound + 1e-9
+
+
+class RecordingHooks(UpdateHooks):
+    def __init__(self):
+        self.events = []
+
+    def batch_begin(self, kind, edges):
+        self.events.append(("begin", kind, len(edges)))
+
+    def before_move(self, v, old, new, phase):
+        self.events.append(("move", v, old, new, phase))
+
+    def round_boundary(self):
+        self.events.append(("round",))
+
+    def batch_end(self):
+        self.events.append(("end",))
+
+
+class TestHooks:
+    def test_hook_sequence_for_insert_batch(self):
+        hooks = RecordingHooks()
+        plds = PLDS(6, hooks=hooks)
+        plds.batch_insert([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        kinds = [e[0] for e in hooks.events]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "end"
+        assert "move" in kinds
+
+    def test_moves_are_single_level_on_insert(self):
+        hooks = RecordingHooks()
+        plds = PLDS(8, hooks=hooks)
+        plds.batch_insert(gen.erdos_renyi(8, 20, seed=1))
+        for e in hooks.events:
+            if e[0] == "move":
+                _, v, old, new, phase = e
+                assert phase == "insert"
+                assert new == old + 1
+
+    def test_moves_go_down_on_delete(self):
+        edges = gen.erdos_renyi(20, 80, seed=2)
+        plds = PLDS(20)
+        plds.batch_insert(edges)
+        hooks = RecordingHooks()
+        plds.hooks = hooks
+        plds.batch_delete(edges)
+        for e in hooks.events:
+            if e[0] == "move":
+                _, v, old, new, phase = e
+                assert phase == "delete"
+                assert new < old
+
+    def test_batch_end_called_even_on_hook_error(self):
+        class Exploding(RecordingHooks):
+            def before_move(self, v, old, new, phase):
+                raise RuntimeError("boom")
+
+        hooks = Exploding()
+        plds = PLDS(6, hooks=hooks)
+        with pytest.raises(RuntimeError):
+            plds.batch_insert([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        assert hooks.events[-1] == ("end",)
+
+
+class TestExecutors:
+    def test_threaded_executor_matches_sequential(self):
+        edges = gen.chung_lu(50, 220, seed=8)
+        seq = PLDS(50, executor=SequentialExecutor())
+        seq.batch_insert(edges)
+        with ThreadedExecutor(num_threads=4) as ex:
+            thr = PLDS(50, executor=ex)
+            thr.batch_insert(edges)
+            thr.check_invariants()
+        assert seq.levels() == thr.levels()
+
+    def test_executor_round_stats_populated(self):
+        plds = PLDS(30)
+        plds.batch_insert(gen.erdos_renyi(30, 120, seed=9))
+        assert plds.executor.stats.rounds > 0
+        assert plds.executor.stats.items > 0
+
+
+@st.composite
+def batch_scripts(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    batches = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.lists(st.sampled_from(possible), min_size=1, max_size=8),
+            ),
+            max_size=8,
+        )
+    )
+    return n, batches
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(batch_scripts())
+    def test_invariants_after_any_batch_script(self, script):
+        n, batches = script
+        plds = PLDS(n, params=LDSParams(n, levels_per_group=3))
+        for is_insert, edges in batches:
+            if is_insert:
+                plds.batch_insert(edges)
+            else:
+                plds.batch_delete(edges)
+        plds.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch_scripts())
+    def test_estimates_within_bound_after_any_script(self, script):
+        n, batches = script
+        plds = PLDS(n)
+        for is_insert, edges in batches:
+            if is_insert:
+                plds.batch_insert(edges)
+            else:
+                plds.batch_delete(edges)
+        exact = core_decomposition(plds.graph)
+        bound = plds.params.theoretical_approximation_factor()
+        for v in range(n):
+            if exact[v] >= 1:
+                err = approximation_factor(plds.coreness_estimate(v), int(exact[v]))
+                assert err <= bound + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch_scripts())
+    def test_batch_equals_one_at_a_time_final_validity(self, script):
+        """Batched and edge-at-a-time application both land in valid states.
+
+        (The *levels* may differ — the PLDS only promises invariant-valid
+        states, not the same canonical one as the sequential LDS.)
+        """
+        n, batches = script
+        plds = PLDS(n)
+        lds = LDS(n)
+        for is_insert, edges in batches:
+            if is_insert:
+                plds.batch_insert(edges)
+                lds.insert_edges(edges)
+            else:
+                plds.batch_delete(edges)
+                lds.delete_edges(edges)
+        plds.check_invariants()
+        lds.check_invariants()
+        assert sorted(plds.graph.edges()) == sorted(lds.graph.edges())

@@ -1,0 +1,85 @@
+"""Tests for trace synthesis and replay with visibility-lag measurement."""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import WorkloadError
+from repro.graph import generators as gen
+from repro.runtime.replay import TraceEvent, replay_trace, synthesize_trace
+
+
+class TestSynthesize:
+    def test_timestamps_increase(self):
+        edges = [(i, i + 1) for i in range(50)]
+        trace = synthesize_trace(edges, rate=100.0, seed=1)
+        times = [e.at for e in trace]
+        assert times == sorted(times)
+
+    def test_insert_then_delete_shape(self):
+        edges = [(i, i + 1) for i in range(40)]
+        trace = synthesize_trace(edges, rate=50.0, delete_fraction=0.5, seed=2)
+        assert sum(1 for e in trace if e.op == "+") == 40
+        assert sum(1 for e in trace if e.op == "-") == 20
+        first_delete = next(i for i, e in enumerate(trace) if e.op == "-")
+        assert all(e.op == "+" for e in trace[:first_delete])
+
+    def test_deterministic(self):
+        edges = [(i, i + 1) for i in range(20)]
+        assert synthesize_trace(edges, rate=10, seed=3) == synthesize_trace(
+            edges, rate=10, seed=3
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            synthesize_trace([], rate=0.0)
+        with pytest.raises(WorkloadError):
+            synthesize_trace([], rate=1.0, delete_fraction=1.5)
+
+    def test_empty_edges(self):
+        assert synthesize_trace([], rate=1.0) == []
+
+
+class TestReplay:
+    def test_empty_trace(self):
+        report = replay_trace(CPLDS(4), [])
+        assert report.events == 0
+        assert report.batches == 0
+
+    def test_replay_applies_everything(self):
+        n = 60
+        edges = gen.erdos_renyi(n, 150, seed=4)
+        trace = synthesize_trace(edges, rate=5000.0, delete_fraction=0.0, seed=4)
+        cp = CPLDS(n)
+        report = replay_trace(cp, trace, speed=50.0, max_batch=64, max_delay=0.002)
+        assert report.events == len(trace)
+        assert cp.graph.num_edges == len(edges)
+        cp.check_invariants()
+
+    def test_visibility_lags_recorded(self):
+        n = 40
+        edges = gen.erdos_renyi(n, 80, seed=5)
+        trace = synthesize_trace(edges, rate=2000.0, seed=5)
+        report = replay_trace(CPLDS(n), trace, speed=20.0, max_delay=0.002)
+        assert len(report.visibility_lags) == report.events
+        assert all(lag >= 0 for lag in report.visibility_lags)
+        stats = report.lag_stats
+        assert stats.mean < 1.0  # sub-second staleness at this scale
+
+    def test_deletions_replayed(self):
+        n = 30
+        edges = gen.erdos_renyi(n, 60, seed=6)
+        trace = synthesize_trace(edges, rate=5000.0, delete_fraction=1.0, seed=6)
+        cp = CPLDS(n)
+        replay_trace(cp, trace, speed=100.0, max_delay=0.002)
+        assert cp.graph.num_edges == 0
+        cp.check_invariants()
+
+    def test_throughput_positive(self):
+        edges = [(i, i + 1) for i in range(30)]
+        trace = synthesize_trace(edges, rate=3000.0, seed=7)
+        report = replay_trace(CPLDS(31), trace, speed=50.0)
+        assert report.throughput > 0
+
+    def test_invalid_speed(self):
+        with pytest.raises(WorkloadError):
+            replay_trace(CPLDS(2), [TraceEvent(0.0, "+", (0, 1))], speed=0.0)

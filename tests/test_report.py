@@ -1,0 +1,91 @@
+"""Tests for the text report rendering."""
+
+from repro.harness.report import _fmt, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows have the same width.
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_headers_and_separator(self):
+        text = format_table(["x"], [(1,)])
+        lines = text.splitlines()
+        assert lines[0].strip() == "x"
+        assert set(lines[1].strip()) == {"-"}
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_mixed_types(self):
+        text = format_table(["n", "f", "s"], [(1, 2.5, "hi")])
+        assert "2.500" in text
+        assert "hi" in text
+
+
+class TestFmt:
+    def test_small_float(self):
+        assert _fmt(0.0001234) == "1.234e-04"
+
+    def test_large_float(self):
+        assert _fmt(1234567.0) == "1.235e+06"
+
+    def test_mid_float(self):
+        assert _fmt(3.14159) == "3.142"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_int_passthrough(self):
+        assert _fmt(42) == "42"
+
+    def test_string_passthrough(self):
+        assert _fmt("abc") == "abc"
+
+
+class TestRunAllCli:
+    def test_build_config_validates_datasets(self):
+        import argparse
+
+        import pytest
+
+        from repro.harness.run_all import build_config
+
+        ns = argparse.Namespace(
+            full=False, datasets=["nope"], trials=None,
+            batch_size=None, readers=None,
+        )
+        with pytest.raises(SystemExit):
+            build_config(ns)
+
+    def test_build_config_overrides(self):
+        import argparse
+
+        from repro.harness.run_all import build_config
+
+        ns = argparse.Namespace(
+            full=True, datasets=["dblp"], trials=2,
+            batch_size=500, readers=3,
+        )
+        cfg = build_config(ns)
+        assert cfg.datasets == ("dblp",)
+        assert cfg.trials == 2
+        assert cfg.batch_size == 500
+        assert cfg.num_readers == 3
+
+    def test_skip_everything_runs_fast(self, capsys):
+        from repro.harness.run_all import main
+
+        rc = main(
+            [
+                "--datasets", "dblp",
+                "--skip", "table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total reproduction time" in out

@@ -1,0 +1,109 @@
+"""SBM generator tests + checkpoint round-trip property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPLDS
+from repro.exact import core_decomposition
+from repro.graph import DynamicGraph
+from repro.graph.generators import stochastic_block_model
+from repro.lds import LDSParams
+from repro.persist import load_cplds, save_cplds
+
+
+class TestSBM:
+    def test_valid_edges(self):
+        edges = stochastic_block_model([10, 10, 10], p_in=0.6, p_out=0.02, seed=1)
+        n = 30
+        seen = set()
+        for u, v in edges:
+            assert 0 <= u < v < n
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_blocks_denser_than_cross(self):
+        edges = stochastic_block_model([25, 25], p_in=0.5, p_out=0.02, seed=2)
+        within = sum(1 for u, v in edges if (u < 25) == (v < 25))
+        across = len(edges) - within
+        assert within > 4 * max(across, 1)
+
+    def test_deterministic(self):
+        a = stochastic_block_model([8, 8], 0.5, 0.05, seed=3)
+        b = stochastic_block_model([8, 8], 0.5, 0.05, seed=3)
+        assert a == b
+
+    def test_block_structure_shows_in_cores(self):
+        edges = stochastic_block_model([30, 30], p_in=0.5, p_out=0.01, seed=4)
+        g = DynamicGraph(60, edges)
+        cores = core_decomposition(g)
+        # Dense blocks yield substantially deeper cores than p_out alone.
+        assert int(cores.max()) >= 8
+
+    def test_degenerate_params(self):
+        assert stochastic_block_model([], 0.5, 0.1) == []
+        assert stochastic_block_model([5], 0.0, 0.0) == []
+        assert stochastic_block_model([1, 1], 1.0, 1.0, seed=5) == [(0, 1)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], p_in=0.1, p_out=0.5)
+        with pytest.raises(ValueError):
+            stochastic_block_model([-1], 0.5, 0.1)
+
+    def test_empty_blocks_tolerated(self):
+        edges = stochastic_block_model([0, 6, 0], p_in=0.8, p_out=0.0, seed=6)
+        assert all(0 <= u < v < 6 for u, v in edges)
+
+
+@st.composite
+def churned_structures(draw):
+    """A CPLDS after a random sequence of insert/delete batches."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    params = LDSParams(n, levels_per_group=draw(st.sampled_from([3, 6, 20])))
+    cp = CPLDS(n, params=params)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    num_batches = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(num_batches):
+        batch = draw(st.lists(st.sampled_from(possible), min_size=1, max_size=12))
+        if draw(st.booleans()):
+            cp.insert_batch(batch)
+        else:
+            cp.delete_batch(batch)
+    return cp
+
+
+def _roundtrip(cp):
+    import os
+    import tempfile
+
+    fd, path = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        save_cplds(cp, path)
+        return load_cplds(path)
+    finally:
+        os.unlink(path)
+
+
+class TestPersistProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(churned_structures())
+    def test_roundtrip_preserves_everything(self, cp):
+        restored = _roundtrip(cp)
+        assert restored.levels() == cp.levels()
+        assert sorted(restored.graph.edges()) == sorted(cp.graph.edges())
+        assert restored.batch_number == cp.batch_number
+        for v in range(cp.graph.num_vertices):
+            assert restored.read(v) == cp.read(v)
+
+    @settings(max_examples=20, deadline=None)
+    @given(churned_structures())
+    def test_restored_structure_survives_more_churn(self, cp):
+        restored = _roundtrip(cp)
+        n = restored.graph.num_vertices
+        if n >= 2:
+            restored.insert_batch([(0, 1)])
+            restored.delete_batch([(0, 1)])
+        restored.check_invariants()

@@ -1,0 +1,139 @@
+"""Tests for the virtual-time machine and its cost model."""
+
+import pytest
+
+from repro.core import CPLDS, NonSyncKCore, SyncReadsKCore
+from repro.graph import generators as gen
+from repro.runtime.simcost import BatchLedger, CostModel
+from repro.runtime.sim import (
+    SimSession,
+    sweep_reader_scalability,
+    sweep_writer_scalability,
+)
+from repro.workloads import BatchStream
+
+
+def make_stream(n=120, m=600, batch=150, seed=3):
+    edges = gen.chung_lu(n, m, seed=seed)
+    return BatchStream.insert_then_delete("sim", n, edges, batch)
+
+
+class TestCostModel:
+    def test_read_costs(self):
+        c = CostModel()
+        assert c.read_cost("cplds") == c.read_base + c.read_dag
+        assert c.read_cost("nonsync") == c.read_base
+        assert c.read_cost("syncreads") == c.read_base
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CostModel().read_cost("wat")
+
+
+class TestBatchLedger:
+    def test_brents_law_single_round(self):
+        ledger = BatchLedger(edges=10, decision_rounds=[8], move_rounds=[4])
+        c = CostModel(edge_apply=1, decision=1, move=3)
+        # 1 core: 10 + 8 + 12 = 30; 4 cores: ceil(10/4)+ceil(8/4)+ceil(4/4)*3
+        assert ledger.virtual_duration(1, c) == 30
+        assert ledger.virtual_duration(4, c) == 3 + 2 + 3
+
+    def test_more_cores_never_slower(self):
+        ledger = BatchLedger(
+            edges=100, decision_rounds=[50, 20, 7], move_rounds=[30, 12], marked=25
+        )
+        c = CostModel()
+        durations = [ledger.virtual_duration(w, c) for w in (1, 2, 4, 8, 16)]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_span_floor(self):
+        """With unbounded cores, duration approaches one tick per round."""
+        ledger = BatchLedger(edges=5, decision_rounds=[100] * 10)
+        c = CostModel()
+        assert ledger.virtual_duration(10_000, c) == pytest.approx(11.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            BatchLedger().virtual_duration(0, CostModel())
+
+
+class TestSimSession:
+    def test_ledgers_populated(self):
+        res = SimSession(CPLDS(120), "cplds").run(make_stream())
+        assert res.batches
+        assert res.total_edges == make_stream().total_edges
+        assert all(b.duration > 0 for b in res.batches)
+        assert any(b.ledger.move_rounds for b in res.batches)
+
+    def test_cplds_counts_marks(self):
+        res = SimSession(CPLDS(120), "cplds").run(make_stream())
+        assert any(b.ledger.marked > 0 for b in res.batches)
+
+    def test_nonsync_has_no_marks(self):
+        res = SimSession(NonSyncKCore(120), "nonsync").run(make_stream())
+        assert all(b.ledger.marked == 0 for b in res.batches)
+
+    def test_deterministic(self):
+        r1 = SimSession(CPLDS(120), "cplds").run(make_stream())
+        r2 = SimSession(CPLDS(120), "cplds").run(make_stream())
+        assert r1.total_write_time == r2.total_write_time
+        assert r1.total_reads == r2.total_reads
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            SimSession(CPLDS(10), "bogus")
+
+    def test_syncreads_latency_includes_waiting(self):
+        sync = SimSession(SyncReadsKCore(120), "syncreads").run(make_stream())
+        nonsync = SimSession(NonSyncKCore(120), "nonsync").run(make_stream())
+        assert max(sync.read_latencies) > 100 * max(nonsync.read_latencies)
+
+
+class TestFig7Shapes:
+    """The scalability shapes the paper's Fig 7 reports."""
+
+    def test_write_throughput_scales_with_cores(self):
+        res = sweep_writer_scalability(
+            lambda: CPLDS(120), "cplds", make_stream, [1, 2, 4, 8, 15]
+        )
+        tputs = [res[w].write_throughput() for w in (1, 2, 4, 8, 15)]
+        assert tputs == sorted(tputs)
+        assert tputs[-1] > 2 * tputs[0]
+
+    def test_read_throughput_scales_with_readers(self):
+        res = sweep_reader_scalability(
+            lambda: CPLDS(120), "cplds", make_stream, [1, 2, 4, 8, 15]
+        )
+        tputs = [res[r].read_throughput() for r in (1, 2, 4, 8, 15)]
+        assert tputs == sorted(tputs)
+
+    def test_nonsync_reads_outpace_cplds(self):
+        """Paper: NonSync read throughput exceeds CPLDS by a small factor
+        (their measurement: up to 2.21x)."""
+        cp = sweep_reader_scalability(
+            lambda: CPLDS(120), "cplds", make_stream, [8]
+        )[8]
+        ns = sweep_reader_scalability(
+            lambda: NonSyncKCore(120), "nonsync", make_stream, [8]
+        )[8]
+        ratio = ns.read_throughput() / cp.read_throughput()
+        assert 1.0 < ratio <= 4.0
+
+    def test_nonsync_write_throughput_at_least_cplds(self):
+        """Paper: NonSync has the lowest update time (no marking)."""
+        cp = sweep_writer_scalability(
+            lambda: CPLDS(120), "cplds", make_stream, [8]
+        )[8]
+        ns = sweep_writer_scalability(
+            lambda: NonSyncKCore(120), "nonsync", make_stream, [8]
+        )[8]
+        assert ns.write_throughput() >= cp.write_throughput()
+
+    def test_syncreads_write_throughput_pays_for_reads(self):
+        ns = sweep_writer_scalability(
+            lambda: NonSyncKCore(120), "nonsync", make_stream, [8]
+        )[8]
+        sr = sweep_writer_scalability(
+            lambda: SyncReadsKCore(120), "syncreads", make_stream, [8]
+        )[8]
+        assert sr.write_throughput() < ns.write_throughput()

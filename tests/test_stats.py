@@ -1,0 +1,88 @@
+"""Tests for latency/throughput statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.stats import (
+    LatencyStats,
+    ThroughputStats,
+    percentile,
+    speedup,
+    summarize_latencies,
+)
+
+
+class TestPercentile:
+    def test_simple(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50
+        assert percentile(data, 99) == 99
+        assert percentile(data, 100) == 100
+        assert percentile(data, 0) == 1
+
+    def test_small_sample_nearest_rank(self):
+        assert percentile([3.0], 99.99) == 3.0
+        assert percentile([1.0, 2.0], 99) == 2.0
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_monotone_in_pct(self, data):
+        ps = [percentile(data, p) for p in (0, 25, 50, 75, 99, 100)]
+        assert ps == sorted(ps)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_result_is_a_sample(self, data):
+        assert percentile(data, 99.99) in data
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        s = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.p99 == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_samples([])
+
+    def test_scaled(self):
+        s = LatencyStats.from_samples([1e-6, 2e-6]).scaled(1e6)
+        assert s.mean == pytest.approx(1.5)
+        assert s.count == 2
+
+    def test_summarize_alias(self):
+        assert summarize_latencies([1.0]) == LatencyStats.from_samples([1.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=100))
+    def test_ordering_invariants(self, data):
+        s = LatencyStats.from_samples(data)
+        assert s.min <= s.p50 <= s.p99 <= s.p9999 <= s.max
+        assert s.min <= s.mean <= s.max
+
+
+class TestThroughputAndSpeedup:
+    def test_throughput(self):
+        t = ThroughputStats(operations=100, duration=2.0)
+        assert t.per_second == 50.0
+
+    def test_zero_duration(self):
+        assert ThroughputStats(10, 0.0).per_second == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == float("inf")

@@ -1,0 +1,119 @@
+"""Step-level interleaving tests of the read protocol (Algorithm 4)."""
+
+import pytest
+
+from repro.core import CPLDS
+from repro.graph import generators as gen
+from repro.runtime.stepping import InterleavedScheduler, SteppedRead
+from repro.workloads import BatchStream
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestSteppedRead:
+    def test_quiescent_read_completes(self):
+        cp = CPLDS(4)
+        cp.insert_batch([(0, 1), (1, 2), (0, 2)])
+        read = SteppedRead(cp, 0)
+        result = read.advance(100)
+        assert result is not None
+        assert result.retries == 0
+        assert result.estimate == cp.read(0)
+
+    def test_partial_advance_returns_none(self):
+        cp = CPLDS(4)
+        read = SteppedRead(cp, 0)
+        assert read.advance(2) is None
+        assert read.advance(100) is not None
+
+    def test_batch_number_change_forces_retry(self):
+        """Suspend a reader after its first collect, run a whole batch, and
+        resume: the sandwich must detect the torn state and retry."""
+        cp = CPLDS(8)
+        read = SteppedRead(cp, 0)
+        read.advance(2)  # read b1 and l1
+        cp.insert_batch(clique(8))  # full batch while suspended
+        result = read.advance(10_000)
+        assert result is not None
+        assert result.retries >= 1
+        assert result.retry_causes[0] == "batch"
+        # After the retry it returns the post-batch level.
+        assert result.level == cp.plds.state.level[0]
+
+    def test_result_matches_unstepped_read(self):
+        cp = CPLDS(10)
+        cp.insert_batch(clique(10))
+        for v in range(10):
+            stepped = SteppedRead(cp, v).advance(1000)
+            assert stepped.estimate == cp.read(v)
+
+
+class TestInterleavedScheduler:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_interleavings_return_boundary_levels(self, seed):
+        n = 16
+        edges = gen.erdos_renyi(n, 60, seed=seed)
+        stream = BatchStream.insert_then_delete("step", n, edges, 15)
+        cp = CPLDS(n)
+        sched = InterleavedScheduler(cp, num_readers=5, seed=seed)
+        completed = sched.run(stream)
+        # The scheduler validates each read on completion; reaching here
+        # with a healthy population is the pass.
+        assert len(completed) >= 5
+        cp.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_retry_has_a_cause(self, seed):
+        """The paper's lock-freedom argument: a read retries only because an
+        update made progress (batch number advanced or live level moved)."""
+        n = 12
+        stream = BatchStream.insert_then_delete(
+            "step", n, clique(n), 12
+        )
+        cp = CPLDS(n)
+        sched = InterleavedScheduler(cp, num_readers=6, seed=seed)
+        completed = sched.run(stream)
+        for r in completed:
+            assert len(r.retry_causes) == r.retries
+            assert all(c in ("batch", "level") for c in r.retry_causes)
+
+    def test_retries_actually_occur_under_contention(self):
+        """Sanity: the adversarial schedule does tear some reads (otherwise
+        the retry-path tests above are vacuous)."""
+        n = 12
+        total_retries = 0
+        for seed in range(10):
+            stream = BatchStream.insert_then_delete("step", n, clique(n), 10)
+            cp = CPLDS(n)
+            sched = InterleavedScheduler(cp, num_readers=8, seed=seed)
+            completed = sched.run(stream)
+            total_retries += sum(r.retries for r in completed)
+        assert total_retries > 0
+
+    def test_descriptor_reads_observed(self):
+        """Some interleaved reads must land on marked vertices and take the
+        descriptor (old-level) path."""
+        n = 12
+        hits = 0
+        for seed in range(10):
+            stream = BatchStream.insert_only("step", n, clique(n), 10)
+            cp = CPLDS(n)
+            sched = InterleavedScheduler(cp, num_readers=8, seed=seed)
+            completed = sched.run(stream)
+            hits += sum(1 for r in completed if r.from_descriptor)
+        assert hits > 0
+
+    def test_deterministic_given_seed(self):
+        n = 10
+        def run(seed):
+            stream = BatchStream.insert_only("step", n, clique(n), 9)
+            cp = CPLDS(n)
+            sched = InterleavedScheduler(cp, num_readers=4, seed=seed)
+            return [
+                (r.vertex, r.level, r.retries) for r in sched.run(stream)
+            ]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4) or True  # different seeds may coincide

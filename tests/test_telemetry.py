@@ -1,0 +1,77 @@
+"""Tests for the per-batch telemetry collector."""
+
+import pytest
+
+from repro.core import CPLDS, NonSyncKCore
+from repro.graph import generators as gen
+from repro.harness.telemetry import TelemetryCollector
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+class TestTelemetry:
+    def test_records_per_batch(self):
+        cp = CPLDS(10)
+        tele = TelemetryCollector.attach(cp)
+        cp.insert_batch(clique(10)[:20])
+        cp.insert_batch(clique(10)[20:])
+        cp.delete_batch(clique(10)[:10])
+        assert [r.kind for r in tele.records] == ["insert", "insert", "delete"]
+        assert [r.index for r in tele.records] == [1, 2, 3]
+
+    def test_counts_match_impl_telemetry(self):
+        cp = CPLDS(10)
+        tele = TelemetryCollector.attach(cp)
+        cp.insert_batch(clique(10))
+        rec = tele.records[-1]
+        assert rec.edges == 45
+        assert rec.moves == cp.plds.last_batch_moves
+        assert rec.marked == cp.last_batch_marked
+        assert rec.dags == cp.last_batch_dags
+        assert rec.duration > 0
+
+    def test_works_on_baselines_without_marking(self):
+        ns = NonSyncKCore(8)
+        tele = TelemetryCollector.attach(ns)
+        ns.insert_batch(clique(8))
+        assert tele.records[-1].marked == 0
+        assert tele.records[-1].moves > 0
+
+    def test_render_and_totals(self):
+        cp = CPLDS(12)
+        tele = TelemetryCollector.attach(cp)
+        edges = gen.erdos_renyi(12, 40, seed=1)
+        cp.insert_batch(edges)
+        cp.delete_batch(edges)
+        text = tele.render()
+        assert "moves" in text and "insert" in text and "delete" in text
+        totals = tele.totals()
+        assert totals["batches"] == 2
+        assert totals["edges"] == 2 * len(edges)
+
+    def test_render_tail(self):
+        cp = CPLDS(6)
+        tele = TelemetryCollector.attach(cp)
+        for e in clique(6)[:4]:
+            cp.insert_batch([e])
+        tail = tele.render(last=2)
+        assert tail.count("insert") == 2
+
+    def test_worst_batch(self):
+        cp = CPLDS(10)
+        tele = TelemetryCollector.attach(cp)
+        assert tele.worst_batch() is None
+        cp.insert_batch(clique(10))
+        cp.insert_batch([])
+        worst = tele.worst_batch()
+        assert worst is not None
+        assert worst.index == 1
+
+    def test_structure_still_correct_with_telemetry(self):
+        cp = CPLDS(20)
+        TelemetryCollector.attach(cp)
+        edges = gen.chung_lu(20, 70, seed=2)
+        cp.insert_batch(edges)
+        cp.check_invariants()

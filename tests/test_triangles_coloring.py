@@ -1,0 +1,121 @@
+"""Tests for the triangle-counting and coloring applications (§9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPLDS
+from repro.exact import degeneracy
+from repro.extensions.coloring import (
+    check_proper_coloring,
+    greedy_coloring_exact,
+    greedy_coloring_lds,
+    num_colors,
+)
+from repro.extensions.triangles import (
+    count_triangles_naive,
+    count_triangles_oriented,
+    local_triangle_counts,
+)
+from repro.graph import DynamicGraph
+from repro.graph import generators as gen
+
+
+def clique(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def loaded(n, edges):
+    cp = CPLDS(n)
+    cp.insert_batch(edges)
+    return cp
+
+
+class TestTriangles:
+    def test_triangle_graph(self):
+        cp = loaded(3, clique(3))
+        assert count_triangles_oriented(cp) == 1
+        assert count_triangles_naive(cp.graph) == 1
+
+    def test_clique_count(self):
+        n = 7
+        cp = loaded(n, clique(n))
+        expected = n * (n - 1) * (n - 2) // 6
+        assert count_triangles_oriented(cp) == expected
+
+    def test_triangle_free_graph(self):
+        cp = loaded(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        assert count_triangles_oriented(cp) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_on_random_graphs(self, seed):
+        edges = gen.erdos_renyi(40, 160, seed=seed)
+        cp = loaded(40, edges)
+        assert count_triangles_oriented(cp) == count_triangles_naive(cp.graph)
+
+    def test_count_stable_under_churn(self):
+        edges = gen.chung_lu(30, 120, seed=5)
+        cp = loaded(30, edges)
+        cp.delete_batch(edges[::3])
+        assert count_triangles_oriented(cp) == count_triangles_naive(cp.graph)
+
+    def test_local_counts_sum_to_3x_total(self):
+        edges = gen.community_overlay(50, 2, 10, 60, seed=6)
+        cp = loaded(50, edges)
+        local = local_triangle_counts(cp)
+        assert sum(local) == 3 * count_triangles_oriented(cp)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_oriented_equals_naive_property(self, seed):
+        edges = gen.erdos_renyi(12, 30, seed=seed)
+        cp = loaded(12, edges)
+        assert count_triangles_oriented(cp) == count_triangles_naive(cp.graph)
+
+
+class TestColoring:
+    def test_exact_coloring_proper_and_bounded(self):
+        edges = gen.chung_lu(60, 240, seed=1)
+        g = DynamicGraph(60, edges)
+        colors = greedy_coloring_exact(g)
+        check_proper_coloring(g, colors)
+        assert num_colors(colors) <= degeneracy(g) + 1
+
+    def test_lds_coloring_proper_and_order_alpha(self):
+        edges = gen.community_overlay(80, 2, 12, 100, seed=2)
+        cp = loaded(80, edges)
+        colors = greedy_coloring_lds(cp)
+        check_proper_coloring(cp.graph, colors)
+        alpha = degeneracy(cp.graph)
+        # O(α) with the structure's (2+3/λ)(1+δ) constant plus slack.
+        assert num_colors(colors) <= int(3.0 * alpha) + 2
+
+    def test_clique_needs_n_colors(self):
+        g = DynamicGraph(5, clique(5))
+        assert num_colors(greedy_coloring_exact(g)) == 5
+
+    def test_bipartite_two_colors(self):
+        edges = [(u, v) for u in range(4) for v in range(4, 8)]
+        g = DynamicGraph(8, edges)
+        colors = greedy_coloring_exact(g)
+        check_proper_coloring(g, colors)
+        assert num_colors(colors) == 2
+
+    def test_empty_graph(self):
+        g = DynamicGraph(0)
+        assert greedy_coloring_exact(g) == []
+        assert num_colors([]) == 0
+
+    def test_improper_coloring_detected(self):
+        g = DynamicGraph(2, [(0, 1)])
+        with pytest.raises(AssertionError, match="monochromatic"):
+            check_proper_coloring(g, [0, 0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_both_colorings_proper_property(self, seed):
+        edges = gen.erdos_renyi(14, 40, seed=seed)
+        g = DynamicGraph(14, edges)
+        check_proper_coloring(g, greedy_coloring_exact(g))
+        cp = loaded(14, edges)
+        check_proper_coloring(cp.graph, greedy_coloring_lds(cp))

@@ -1,0 +1,79 @@
+"""Tests for the vocabulary types, protocols, and exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core import CPLDS, NonSyncKCore, SyncReadsKCore
+from repro.types import (
+    BatchUpdatable,
+    CorenessReader,
+    canonical_edge,
+    canonicalize_batch,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_self_pair_unchanged(self):
+        assert canonical_edge(2, 2) == (2, 2)
+
+
+class TestCanonicalizeBatch:
+    def test_dedup_preserves_first_seen_order(self):
+        batch = [(3, 1), (0, 2), (1, 3), (2, 0), (4, 5)]
+        assert canonicalize_batch(batch) == [(1, 3), (0, 2), (4, 5)]
+
+    def test_empty(self):
+        assert canonicalize_batch([]) == []
+
+    def test_generator_input(self):
+        assert canonicalize_batch((e for e in [(1, 0)])) == [(0, 1)]
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("factory", [CPLDS, NonSyncKCore, SyncReadsKCore])
+    def test_implementations_satisfy_reader_protocol(self, factory):
+        impl = factory(4)
+        assert isinstance(impl, CorenessReader)
+
+    @pytest.mark.parametrize("factory", [CPLDS, NonSyncKCore, SyncReadsKCore])
+    def test_implementations_satisfy_updatable_protocol(self, factory):
+        impl = factory(4)
+        assert isinstance(impl, BatchUpdatable)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphError", "VertexOutOfRange", "SelfLoopError",
+            "EdgeStateError", "LDSError", "InvariantViolation",
+            "BatchInProgressError", "HistoryError", "NotLinearizable",
+            "SimulationError", "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_vertex_out_of_range_carries_context(self):
+        exc = errors.VertexOutOfRange(7, 5)
+        assert exc.vertex == 7
+        assert exc.num_vertices == 5
+        assert "7" in str(exc) and "5" in str(exc)
+
+    def test_self_loop_carries_vertex(self):
+        exc = errors.SelfLoopError(3)
+        assert exc.vertex == 3
+
+    def test_invariant_violation_carries_vertex(self):
+        exc = errors.InvariantViolation("boom", vertex=9)
+        assert exc.vertex == 9
+
+    def test_graph_errors_are_graph_errors(self):
+        assert issubclass(errors.SelfLoopError, errors.GraphError)
+        assert issubclass(errors.EdgeStateError, errors.GraphError)
+
+    def test_catchall(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("nope")

@@ -1,0 +1,120 @@
+"""Tests for batch streams and read generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BatchStream,
+    UniformReadGenerator,
+    ZipfReadGenerator,
+    split_into_batches,
+)
+
+
+EDGES = [(i, i + 1) for i in range(20)]
+
+
+class TestSplitIntoBatches:
+    def test_exact_split(self):
+        batches = split_into_batches(EDGES, 5)
+        assert [len(b) for b in batches] == [5, 5, 5, 5]
+        assert all(b.kind == "insert" for b in batches)
+
+    def test_ragged_tail(self):
+        batches = split_into_batches(EDGES, 7)
+        assert [len(b) for b in batches] == [7, 7, 6]
+
+    def test_shuffle_deterministic(self):
+        a = split_into_batches(EDGES, 5, shuffle_seed=3)
+        b = split_into_batches(EDGES, 5, shuffle_seed=3)
+        assert a == b
+        c = split_into_batches(EDGES, 5, shuffle_seed=4)
+        assert a != c
+
+    def test_shuffle_preserves_multiset(self):
+        batches = split_into_batches(EDGES, 5, shuffle_seed=1)
+        flat = sorted(e for b in batches for e in b.edges)
+        assert flat == sorted(EDGES)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(WorkloadError):
+            split_into_batches(EDGES, 0)
+
+
+class TestBatchStream:
+    def test_insert_only(self):
+        s = BatchStream.insert_only("t", 21, EDGES, 6)
+        assert s.total_edges == 20
+        assert set(s.kinds()) == {"insert"}
+
+    def test_insert_then_delete_shape(self):
+        s = BatchStream.insert_then_delete("t", 21, EDGES, 6, delete_fraction=0.5)
+        kinds = s.kinds()
+        assert kinds[: kinds.index("delete")].count("insert") == len(
+            [k for k in kinds if k == "insert"]
+        )
+        deleted = sum(len(b) for b in s.batches if b.kind == "delete")
+        assert deleted == 10
+
+    def test_deletes_are_previously_inserted_edges(self):
+        s = BatchStream.insert_then_delete("t", 21, EDGES, 4, delete_fraction=1.0)
+        inserted = {e for b in s.batches if b.kind == "insert" for e in b.edges}
+        for b in s.batches:
+            if b.kind == "delete":
+                assert set(b.edges) <= inserted
+
+    def test_invalid_delete_fraction(self):
+        with pytest.raises(WorkloadError):
+            BatchStream.insert_then_delete("t", 21, EDGES, 4, delete_fraction=1.5)
+
+    def test_only_filter(self):
+        s = BatchStream.insert_then_delete("t", 21, EDGES, 4)
+        ins = s.only("insert")
+        assert set(ins.kinds()) == {"insert"}
+        assert ins.num_vertices == 21
+
+    def test_len_and_iter(self):
+        s = BatchStream.insert_only("t", 21, EDGES, 5)
+        assert len(s) == 4
+        assert sum(len(b) for b in s) == 20
+
+
+class TestUniformReadGenerator:
+    def test_range_and_determinism(self):
+        g1 = UniformReadGenerator(50, seed=1)
+        g2 = UniformReadGenerator(50, seed=1)
+        a = g1.take(100)
+        assert a == g2.take(100)
+        assert all(0 <= v < 50 for v in a)
+
+    def test_buffer_refill(self):
+        g = UniformReadGenerator(10, seed=2, buffer_size=8)
+        vals = g.take(25)
+        assert len(vals) == 25
+
+    def test_covers_vertex_space(self):
+        g = UniformReadGenerator(10, seed=3)
+        assert set(g.take(500)) == set(range(10))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UniformReadGenerator(0)
+
+
+class TestZipfReadGenerator:
+    def test_skew_toward_low_ids(self):
+        g = ZipfReadGenerator(100, s=1.3, seed=4)
+        picks = g.take(2000)
+        low = sum(1 for v in picks if v < 10)
+        high = sum(1 for v in picks if v >= 90)
+        assert low > 5 * max(high, 1)
+
+    def test_range(self):
+        g = ZipfReadGenerator(20, seed=5)
+        assert all(0 <= v < 20 for v in g.take(200))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfReadGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfReadGenerator(10, s=0.0)
