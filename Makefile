@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full reproduce reproduce-full examples clean
+.PHONY: install test chaos bench bench-full reproduce reproduce-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -m chaos -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

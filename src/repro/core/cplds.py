@@ -163,6 +163,7 @@ class CPLDS:
         self.batch_number = 0
         self.max_read_retries = max_read_retries
         self._batch_partners: dict[Vertex, list[Vertex]] = {}
+        self._wounded = False
         #: Telemetry from the most recent batch.
         self.last_batch_marked = 0
         self.last_batch_dags = 0
@@ -175,17 +176,29 @@ class CPLDS:
     # ------------------------------------------------------------------
     def insert_batch(self, edges: Iterable[Edge]) -> int:
         """Apply an insertion batch; returns the number of new edges."""
-        return self.plds.batch_insert(edges)
+        try:
+            return self.plds.batch_insert(edges)
+        except BaseException:
+            self._wounded = True
+            raise
 
     def delete_batch(self, edges: Iterable[Edge]) -> int:
         """Apply a deletion batch; returns the number of removed edges."""
-        return self.plds.batch_delete(edges)
+        try:
+            return self.plds.batch_delete(edges)
+        except BaseException:
+            self._wounded = True
+            raise
 
     def apply_batch(
         self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
     ) -> tuple[int, int]:
         """Mixed batch, pre-processed into insertion + deletion sub-batches."""
-        return self.plds.apply_batch(insertions, deletions)
+        try:
+            return self.plds.apply_batch(insertions, deletions)
+        except BaseException:
+            self._wounded = True
+            raise
 
     # ------------------------------------------------------------------
     # Reads (read processes — lock-free, callable from any thread)
@@ -313,6 +326,30 @@ class CPLDS:
         """The underlying dynamic graph."""
         return self.plds.graph
 
+    @property
+    def wounded(self) -> bool:
+        """True if a batch ever raised mid-flight on this structure.
+
+        A wounded structure's levels/counters/descriptors may be mutually
+        inconsistent; the recovery entry points (:meth:`rebuild`, or the
+        supervisor's checkpoint+journal restore) clear the flag.
+        """
+        return self._wounded
+
+    def fresh_like(self) -> "CPLDS":
+        """A new, empty CPLDS over the same vertex universe and parameters.
+
+        Recovery entry point: checkpoint+journal replay starts from a fresh
+        structure (never the wounded one) and replays history batch by
+        batch, which — the PLDS being deterministic under the sequential
+        executor — reproduces the exact level history of the original.
+        """
+        return CPLDS(
+            self.graph.num_vertices,
+            params=self.params,
+            max_read_retries=self.max_read_retries,
+        )
+
     def rebuild(self) -> None:
         """Recover a consistent quiescent state from the graph alone.
 
@@ -343,6 +380,7 @@ class CPLDS:
         for v in range(n):
             state.down[v] = {}
         self.insert_batch(edges)
+        self._wounded = False
 
     def check_invariants(self) -> None:
         """Assert LDS invariants and a fully unmarked descriptor table."""

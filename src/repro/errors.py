@@ -64,6 +64,75 @@ class BatchInProgressError(ReproError):
     """An operation that requires quiescence was invoked mid-batch."""
 
 
+class PersistError(ReproError):
+    """Base class for errors raised by the persistence layer."""
+
+
+class CheckpointCorruptError(PersistError):
+    """A checkpoint file is unreadable, truncated, or fails its checksum.
+
+    Raised by :func:`repro.persist.load_cplds` instead of surfacing raw
+    numpy/zipfile errors, so recovery code can fall back to an earlier
+    checkpoint (or a full journal replay) with a single ``except`` clause.
+    """
+
+
+class JournalCorruptError(PersistError):
+    """A batch-journal record *before* the tail failed validation.
+
+    A torn final record is the normal signature of a crash mid-append and is
+    tolerated (dropped) by the journal reader; corruption anywhere earlier
+    means the file was damaged after the fact and replaying past it could
+    silently skip committed batches — so the reader refuses.
+    """
+
+
+class CoordinatorClosedError(ReproError):
+    """An update was submitted to a coordinator after :meth:`close`.
+
+    Also set as the :attr:`~repro.runtime.coordinator.UpdateTicket.error` of
+    any ticket that was still queued when the coordinator shut down, so no
+    producer is ever left waiting on a ticket that can no longer complete.
+    """
+
+
+class CoordinatorDiedError(ReproError):
+    """The coordinator's update thread died on an unhandled exception.
+
+    The original exception is chained as ``__cause__``; every pending ticket
+    is failed with this error so waiting producers unblock.
+    """
+
+
+class TicketTimeoutError(ReproError, TimeoutError):
+    """An :meth:`UpdateTicket.wait` deadline expired before completion.
+
+    Subclasses :class:`TimeoutError` as well, so callers may catch either the
+    library hierarchy or the builtin.
+    """
+
+
+class PoisonUpdateError(ReproError):
+    """An update failed deterministically and was quarantined.
+
+    The supervisor retried the containing batch, then bisected it down to
+    this individual update, which still failed; the update is dropped and
+    only its ticket fails — the rest of the batch commits normally.
+    """
+
+
+class ServiceFailedError(ReproError):
+    """The supervised service is in the terminal FAILED state.
+
+    Raised for new submissions once recovery has been exhausted; reads keep
+    being served from the last-known-good snapshot.
+    """
+
+
+class RecoveryError(ReproError):
+    """A recovery attempt could not restore a consistent structure."""
+
+
 class HistoryError(ReproError):
     """An operation history is malformed (e.g. response before invocation)."""
 

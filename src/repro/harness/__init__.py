@@ -8,12 +8,17 @@ these drivers.
 """
 
 from repro.harness.stats import LatencyStats, percentile, summarize_latencies
-from repro.harness.telemetry import BatchTelemetry, TelemetryCollector
+from repro.harness.telemetry import (
+    BatchTelemetry,
+    ServiceTelemetry,
+    TelemetryCollector,
+)
 
 __all__ = [
     "LatencyStats",
     "percentile",
     "summarize_latencies",
     "BatchTelemetry",
+    "ServiceTelemetry",
     "TelemetryCollector",
 ]

@@ -119,3 +119,56 @@ class TelemetryCollector(UpdateHooks):
     def worst_batch(self) -> BatchTelemetry | None:
         """The slowest batch (None when no batches ran)."""
         return max(self.records, key=lambda r: r.duration, default=None)
+
+
+@dataclass
+class ServiceTelemetry:
+    """Operational counters for the supervised service layer.
+
+    Maintained by :class:`~repro.runtime.supervisor.SupervisedCPLDS`; the
+    counters answer the on-call questions (is the service healthy, how many
+    recoveries/retries/quarantines has it absorbed, how stale are degraded
+    reads), and ``transitions`` is the audit log of the health state machine
+    (pairs of state names, oldest first).
+    """
+
+    batches_applied: int = 0
+    batch_failures: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    bisections: int = 0
+    poison_updates: int = 0
+    checkpoints_written: int = 0
+    checkpoints_rejected: int = 0
+    journal_records: int = 0
+    stale_reads: int = 0
+    #: Health state machine audit log: (from-state, to-state) names.
+    transitions: list[tuple[str, str]] = field(default_factory=list)
+
+    def record_transition(self, old: str, new: str) -> None:
+        """Append one health transition to the audit log."""
+        self.transitions.append((old, new))
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain counter snapshot (transitions reported as a count)."""
+        return {
+            "batches_applied": self.batches_applied,
+            "batch_failures": self.batch_failures,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "bisections": self.bisections,
+            "poison_updates": self.poison_updates,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoints_rejected": self.checkpoints_rejected,
+            "journal_records": self.journal_records,
+            "stale_reads": self.stale_reads,
+            "transitions": len(self.transitions),
+        }
+
+    def render(self) -> str:
+        """Render the counters as an aligned two-column text table."""
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["counter", "value"], list(self.as_dict().items())
+        )

@@ -16,11 +16,39 @@ package provides the substitutions documented in DESIGN.md:
   interleaved with updates at individual protocol-step granularity;
 * :mod:`repro.runtime.coordinator` — multi-producer batch formation (the
   service layer over the CPLDS);
+* :mod:`repro.runtime.supervisor` — self-healing service layer: write-ahead
+  batch journal, supervised recovery with poison-batch quarantine, health
+  state machine, stale-snapshot degraded reads;
+* :mod:`repro.runtime.chaos` — deterministic seeded fault schedules
+  (mid-batch crashes, journal truncation, checkpoint corruption) with an
+  oracle-equivalence verdict;
 * :mod:`repro.runtime.replay` — timestamped trace replay with
   visibility-lag measurement.
 """
 
 from repro.runtime.coordinator import BatchCoordinator, UpdateTicket
+
+#: Supervisor names resolved lazily (PEP 562): the supervisor pulls in the
+#: CPLDS and the persistence layer, which themselves import
+#: :mod:`repro.runtime.executor` — an eager import here would be circular.
+_LAZY_SUPERVISOR_EXPORTS = {
+    "BatchOutcome",
+    "HealthState",
+    "RecoveryReport",
+    "ServiceRead",
+    "SupervisedCoordinator",
+    "SupervisedCPLDS",
+    "restore_from_dir",
+}
+
+
+def __getattr__(name: str):
+    """Resolve supervisor exports on first use (avoids an import cycle)."""
+    if name in _LAZY_SUPERVISOR_EXPORTS:
+        from repro.runtime import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.runtime.executor import (
     Executor,
     SequentialExecutor,
@@ -36,6 +64,13 @@ __all__ = [
     "RoundStats",
     "BatchCoordinator",
     "UpdateTicket",
+    "BatchOutcome",
+    "HealthState",
+    "RecoveryReport",
+    "ServiceRead",
+    "SupervisedCoordinator",
+    "SupervisedCPLDS",
+    "restore_from_dir",
     "TraceEvent",
     "replay_trace",
     "synthesize_trace",

@@ -1,0 +1,326 @@
+"""Deterministic chaos harness for the supervised service layer.
+
+Everything here is a pure function of the seed: the workload (a long mixed
+insert/delete stream), the fault schedule (mid-batch crashes à la
+``DieAfterMoves``, always-failing *poison* edges, simulated process crashes
+with journal tail truncation and checkpoint corruption), and therefore the
+entire execution — the supervised engine is synchronous and the PLDS is
+deterministic under the sequential executor.  That makes every chaos run a
+reproducible regression test rather than a flaky stress test.
+
+The verdict is an **oracle equivalence check**: the harness keeps its own
+record of every sub-batch the service reports as committed (trimmed to the
+recovered prefix after each simulated crash), replays that history into a
+fresh-built CPLDS, and requires the supervised structure's coreness
+estimate for *every* vertex to match the oracle's exactly — plus clean LDS
+invariants, an edge set matching the harness's own bookkeeping, and a final
+health state that never needed operator intervention.
+
+Run one schedule with :func:`run_chaos`; sweep many with
+``python -m repro.runtime.chaos --seeds 50``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cplds import CPLDS
+from repro.lds.plds import Phase, UpdateHooks
+from repro.runtime.inject import HookChain
+from repro.runtime.supervisor import (
+    AppliedRecord,
+    HealthState,
+    SupervisedCPLDS,
+    _list_checkpoints,
+)
+from repro.types import Edge, canonical_edge
+
+
+class ChaosHooks(UpdateHooks):
+    """Seeded fault injector chained after a structure's own hooks.
+
+    Two fault modes, driven by the harness between batches:
+
+    * :meth:`arm_crash` — raise after the k-th vertex move, for the next
+      ``times`` application attempts (``times`` ≤ the supervisor's retry
+      budget exercises recovery+retry; larger values force a bisection);
+    * :attr:`poison` — edges whose presence in a phase's applied sub-batch
+      always raises, modelling updates that fail deterministically until
+      the supervisor quarantines them.
+    """
+
+    def __init__(self) -> None:
+        self.poison: set[Edge] = set()
+        self._crash_after = 0
+        self._crash_times = 0
+        self._moves = 0
+        self._counting = False
+
+    def arm_crash(self, after_moves: int, times: int) -> None:
+        """Fail the next ``times`` attempts after ``after_moves`` moves."""
+        self._crash_after = after_moves
+        self._crash_times = times
+
+    def clear(self) -> None:
+        """Disarm every fault (harness calls this between batches)."""
+        self.poison.clear()
+        self._crash_times = 0
+        self._counting = False
+
+    # -- hook callbacks --------------------------------------------------
+    def batch_begin(self, kind: Phase, edges: Sequence[Edge]) -> None:
+        if self.poison and self.poison & {canonical_edge(u, v) for u, v in edges}:
+            raise RuntimeError("chaos: poison update in batch")
+        self._moves = 0
+        self._counting = self._crash_times > 0
+
+    def before_move(self, v: int, old: int, new: int, phase: Phase) -> None:
+        if not self._counting:
+            return
+        self._moves += 1
+        if self._moves > self._crash_after:
+            self._crash_times -= 1
+            self._counting = False
+            raise RuntimeError("chaos: injected mid-batch crash")
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Verdict and statistics of one seeded chaos schedule."""
+
+    seed: int
+    num_vertices: int
+    batches_submitted: int
+    crashes_armed: int
+    poison_edges: int
+    restarts: int
+    truncated_bytes: int
+    checkpoints_corrupted: int
+    quarantined: int
+    recoveries: int
+    final_health: str
+    #: Vertices whose final estimate differed from the oracle (empty = pass).
+    mismatches: tuple[int, ...]
+    #: True iff estimates matched, invariants held, the edge set matched the
+    #: harness's bookkeeping, and the service never needed an operator.
+    converged: bool
+    telemetry: dict = field(default_factory=dict)
+
+
+def _sample_batch(
+    rng: random.Random, n: int, live: set[Edge]
+) -> tuple[list[Edge], list[Edge]]:
+    """One seeded mixed batch: fresh insertions + deletions of live edges."""
+    ins: list[Edge] = []
+    want = rng.randint(1, 8)
+    attempts = 0
+    while len(ins) < want and attempts < 50:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = canonical_edge(u, v)
+        if e in live or e in ins:
+            continue
+        ins.append(e)
+    dels: list[Edge] = []
+    if live:
+        k = min(len(live), rng.randint(0, 4))
+        dels = rng.sample(sorted(live), k)
+    return ins, dels
+
+
+def _corrupt_checkpoint(path: str, rng: random.Random) -> None:
+    """Overwrite a slice in the middle of a checkpoint file."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.seek(max(0, size // 2 - 8))
+        fh.write(bytes(rng.getrandbits(8) for _ in range(16)))
+
+
+def _truncate_tail(path: str, rng: random.Random) -> int:
+    """Chop a seeded number of bytes off the journal tail; returns count."""
+    size = os.path.getsize(path)
+    chop = min(rng.randint(1, 120), max(0, size - 80))
+    if chop > 0:
+        with open(path, "r+b") as fh:
+            fh.truncate(size - chop)
+    return chop
+
+
+def run_chaos(
+    seed: int,
+    journal_dir: str | os.PathLike[str],
+    *,
+    num_batches: int | None = None,
+) -> ChaosResult:
+    """Execute one seeded fault schedule against a supervised service.
+
+    Drives a mixed workload through a :class:`SupervisedCPLDS` (journaled
+    into ``journal_dir``, which must be empty) while injecting the seed's
+    fault schedule, then renders the oracle-equivalence verdict described
+    in the module docstring.  Everything — workload, faults, recovery — is
+    deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(16, 40)
+    batches = num_batches if num_batches is not None else rng.randint(12, 24)
+    max_retries = rng.randint(1, 2)
+    directory = os.fspath(journal_dir)
+
+    hooks = ChaosHooks()
+
+    def attach(impl: CPLDS) -> None:
+        impl.plds.hooks = HookChain(impl.plds.hooks, hooks)
+
+    service = SupervisedCPLDS(
+        CPLDS(n),
+        journal_dir=directory,
+        checkpoint_every=rng.randint(2, 6),
+        keep_checkpoints=2,
+        max_retries=max_retries,
+        backoff_base=0.0,
+        degraded_clearance=2,
+    )
+    attach(service.impl)
+    service.post_restore = attach
+
+    # Pre-draw the restart schedule so rng consumption stays independent of
+    # outcomes: up to two simulated process crashes at fixed batch indices.
+    restart_at = set(rng.sample(range(1, batches), min(2, batches - 1)))
+
+    live: set[Edge] = set()
+    history: list[AppliedRecord] = []
+    crashes_armed = poison_edges = restarts = 0
+    truncated_bytes = checkpoints_corrupted = quarantined = 0
+
+    for i in range(batches):
+        ins, dels = _sample_batch(rng, n, live)
+        roll = rng.random()
+        crash_moves = rng.randint(1, 6)
+        crash_times = rng.randint(1, max_retries + 2)
+        poison_pick = rng.randrange(len(ins)) if ins else 0
+        if roll < 0.40:
+            hooks.arm_crash(crash_moves, crash_times)
+            crashes_armed += 1
+        elif roll < 0.55 and ins:
+            hooks.poison = {ins[poison_pick]}
+            poison_edges += 1
+
+        outcome = service.apply_batch(ins, dels)
+        hooks.clear()
+        quarantined += len(outcome.dropped)
+        history.extend(outcome.applied)
+        for rec in outcome.applied:
+            live.update(rec.insertions)
+            live.difference_update(rec.deletions)
+
+        if i in restart_at:
+            # Simulated process crash: no graceful close, maybe a torn /
+            # truncated journal tail, maybe a corrupted newest checkpoint.
+            restarts += 1
+            service._journal.close()
+            jpath = os.path.join(directory, "journal.jsonl")
+            if rng.random() < 0.6:
+                truncated_bytes += _truncate_tail(jpath, rng)
+            ckpts = _list_checkpoints(directory)
+            if ckpts and rng.random() < 0.5:
+                _corrupt_checkpoint(ckpts[0][1], rng)
+                checkpoints_corrupted += 1
+            service, report = SupervisedCPLDS.open(
+                directory,
+                checkpoint_every=rng.randint(2, 6),
+                keep_checkpoints=2,
+                max_retries=max_retries,
+                backoff_base=0.0,
+                degraded_clearance=2,
+            )
+            attach(service.impl)
+            service.post_restore = attach
+            # Durability contract: recovery lands on a consistent prefix.
+            history = [r for r in history if r.seq <= report.recovered_through]
+            live = set()
+            for rec in history:
+                live.update(rec.insertions)
+                live.difference_update(rec.deletions)
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    oracle = CPLDS(n, params=service.impl.params)
+    for rec in history:
+        oracle.apply_batch(rec.insertions, rec.deletions)
+    mismatches = tuple(
+        v for v in range(n) if service.read(v) != oracle.read(v)
+    )
+    structure_ok = True
+    try:
+        service.impl.check_invariants()
+    except Exception:
+        structure_ok = False
+    edges_ok = set(map(tuple, service.impl.graph.edges())) == live
+    health_ok = service.health in (HealthState.HEALTHY, HealthState.DEGRADED)
+    service.close()
+    return ChaosResult(
+        seed=seed,
+        num_vertices=n,
+        batches_submitted=batches,
+        crashes_armed=crashes_armed,
+        poison_edges=poison_edges,
+        restarts=restarts,
+        truncated_bytes=truncated_bytes,
+        checkpoints_corrupted=checkpoints_corrupted,
+        quarantined=quarantined,
+        recoveries=service.telemetry.recoveries,
+        final_health=service.health.name,
+        mismatches=mismatches,
+        converged=(
+            not mismatches and structure_ok and edges_ok and health_ok
+        ),
+        telemetry=service.telemetry.as_dict(),
+    )
+
+
+def run_sweep(seeds: Sequence[int]) -> list[ChaosResult]:
+    """Run one schedule per seed (each in a throwaway directory)."""
+    results = []
+    for seed in seeds:
+        with tempfile.TemporaryDirectory(prefix=f"chaos-{seed}-") as d:
+            results.append(run_chaos(seed, d))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: sweep N seeds and report; exit non-zero on any divergence."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of seeded schedules to run")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first seed of the sweep")
+    args = parser.parse_args(argv)
+    results = run_sweep(range(args.start, args.start + args.seeds))
+    failures = [r for r in results if not r.converged]
+    total_faults = sum(
+        r.crashes_armed + r.poison_edges + r.restarts for r in results
+    )
+    print(
+        f"chaos sweep: {len(results)} schedules, {total_faults} faults, "
+        f"{sum(r.recoveries for r in results)} recoveries, "
+        f"{sum(r.quarantined for r in results)} quarantined updates, "
+        f"{len(failures)} divergences"
+    )
+    for r in failures:
+        print(f"  seed {r.seed}: mismatches={r.mismatches} "
+              f"health={r.final_health}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

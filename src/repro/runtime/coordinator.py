@@ -16,6 +16,17 @@ path of its motivation).  :class:`BatchCoordinator` is that layer:
 * reads go straight to the underlying structure at any time — that is the
   whole point of the paper.
 
+Failure contract: **no ticket is ever stranded**.  Every submitted ticket
+either completes (``applied_in_batch`` set) or fails with a typed error
+(:class:`~repro.errors.CoordinatorClosedError`,
+:class:`~repro.errors.CoordinatorDiedError`, or — under the supervised
+subclass — :class:`~repro.errors.PoisonUpdateError`), which
+:meth:`UpdateTicket.wait` re-raises in the producer.  The base coordinator
+itself still *dies loudly* on a batch failure, matching the paper's
+no-process-failures model; :class:`~repro.runtime.supervisor.
+SupervisedCoordinator` overrides the application seam
+(:meth:`BatchCoordinator._apply_edges`) with journaled recovery.
+
 Back-pressure: the queue is bounded; submissions block when the update
 thread falls behind.
 """
@@ -28,7 +39,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
-from repro.errors import ReproError
+from repro.errors import (
+    CoordinatorClosedError,
+    CoordinatorDiedError,
+    TicketTimeoutError,
+)
 from repro.types import Edge, Vertex, canonical_edge
 
 
@@ -41,14 +56,43 @@ class UpdateTicket:
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: Batch number the update was applied in (set on completion).
     applied_in_batch: Optional[int] = None
+    #: Typed failure, when the update could not be applied (the ticket is
+    #: *done* either way; :meth:`wait` re-raises this in the producer).
+    error: Optional[BaseException] = None
 
     def wait(self, timeout: float | None = None) -> bool:
-        """Block until the update is visible to readers."""
-        return self._event.wait(timeout)
+        """Block until the update is visible to readers.
+
+        With a ``timeout``, raises :class:`~repro.errors.TicketTimeoutError`
+        if the deadline expires first — a ticket wait never silently returns
+        ``False`` and never blocks past an explicit bound.  If the update
+        *failed* (coordinator shut down, update quarantined), the ticket's
+        typed :attr:`error` is raised instead of returning.
+        """
+        if not self._event.wait(timeout):
+            raise TicketTimeoutError(
+                f"update {self.op}{self.edge} not applied within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return True
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the ticket with a typed failure (idempotent-ish; the
+        first error wins)."""
+        if self.error is None:
+            self.error = error
+        self._event.set()
 
     @property
     def done(self) -> bool:
+        """True once the ticket completed — successfully or with an error."""
         return self._event.is_set()
+
+    @property
+    def failed(self) -> bool:
+        """True when the ticket completed with a typed error."""
+        return self._event.is_set() and self.error is not None
 
 
 class BatchCoordinator:
@@ -105,13 +149,24 @@ class BatchCoordinator:
         return self._submit("-", (u, v))
 
     def _submit(self, op: Literal["+", "-"], edge: Edge) -> UpdateTicket:
-        if self._closed:
-            raise ReproError("coordinator is closed")
-        if self._error is not None:
-            raise ReproError("coordinator died") from self._error
+        self._check_accepting()
         ticket = UpdateTicket(op=op, edge=canonical_edge(*edge))
         self._queue.put(ticket)  # blocks when full: back-pressure
+        # Submit/close race: the update thread may already have drained its
+        # shutdown sentinel, in which case nothing will ever pop `ticket`.
+        # Fail everything still queued instead of letting producers hang.
+        if self._closed and not self._thread.is_alive():
+            self._drain_pending(
+                CoordinatorClosedError("coordinator closed during submit")
+            )
         return ticket
+
+    def _check_accepting(self) -> None:
+        """Raise the typed reason this coordinator cannot take submissions."""
+        if self._closed:
+            raise CoordinatorClosedError("coordinator is closed")
+        if self._error is not None:
+            raise CoordinatorDiedError("coordinator died") from self._error
 
     def read(self, v: Vertex) -> float:
         """Pass-through asynchronous read (the paper's low-latency path)."""
@@ -121,17 +176,27 @@ class BatchCoordinator:
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self, timeout: float = 30.0) -> None:
-        """Block until everything submitted so far has been applied."""
+        """Block until everything submitted so far has been applied.
+
+        Raises :class:`~repro.errors.TicketTimeoutError` on deadline, or the
+        coordinator's typed failure if it died/closed while flushing.
+        """
+        if self._closed:
+            raise CoordinatorClosedError("cannot flush a closed coordinator")
+        if self._error is not None:
+            raise CoordinatorDiedError("coordinator died") from self._error
         marker = UpdateTicket(op="+", edge=(0, 0))
         marker.edge_is_marker = True  # type: ignore[attr-defined]
         self._queue.put(marker)
-        if not marker.wait(timeout):
-            raise TimeoutError("coordinator flush timed out")
-        if self._error is not None:
-            raise ReproError("coordinator died") from self._error
+        marker.wait(timeout)
 
     def close(self, timeout: float = 30.0) -> None:
-        """Flush and stop the update thread (idempotent)."""
+        """Flush and stop the update thread (idempotent).
+
+        Any ticket still queued behind the shutdown sentinel is failed with
+        :class:`~repro.errors.CoordinatorClosedError` so its producer
+        unblocks with a typed error rather than waiting forever.
+        """
         if self._closed:
             return
         self._closed = True
@@ -139,8 +204,9 @@ class BatchCoordinator:
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - safety net
             raise TimeoutError("coordinator failed to stop")
+        self._drain_pending(CoordinatorClosedError("coordinator is closed"))
         if self._error is not None:
-            raise ReproError("coordinator died") from self._error
+            raise CoordinatorDiedError("coordinator died") from self._error
 
     def __enter__(self) -> "BatchCoordinator":
         return self
@@ -160,14 +226,19 @@ class BatchCoordinator:
                 self._apply(batch)
         except BaseException as exc:  # pragma: no cover - surfaced via API
             self._error = exc
-            # Fail every ticket still waiting so producers unblock.
-            while True:
-                try:
-                    t = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if t is not None:
-                    t._event.set()
+            death = CoordinatorDiedError("coordinator update thread died")
+            death.__cause__ = exc
+            self._drain_pending(death)
+
+    def _drain_pending(self, error: BaseException) -> None:
+        """Fail every ticket still in the queue so producers unblock."""
+        while True:
+            try:
+                t = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if t is not None:
+                t.fail(error)
 
     def _collect(self) -> list[UpdateTicket] | None:
         """Gather one batch: first update blocks, then a size/time window."""
@@ -190,26 +261,56 @@ class BatchCoordinator:
             batch.append(item)
         return batch
 
+    def _apply_edges(
+        self, inserts: list[Edge], deletes: list[Edge]
+    ) -> dict[Edge, BaseException]:
+        """Application seam: apply one pre-processed batch to ``impl``.
+
+        Returns a per-edge failure map (empty on full success); raising kills
+        the update thread.  The base implementation applies directly and
+        never partially fails; :class:`~repro.runtime.supervisor.
+        SupervisedCoordinator` overrides this with journaling, recovery, and
+        poison-update quarantine.
+        """
+        self.impl.apply_batch(insertions=inserts, deletions=deletes)
+        return {}
+
     def _apply(self, batch: list[UpdateTicket]) -> None:
         # Pre-process: last op per edge wins (the paper's batch semantics).
         final: dict[Edge, UpdateTicket] = {}
         order: list[Edge] = []
-        markers: list[UpdateTicket] = []
         for t in batch:
             if getattr(t, "edge_is_marker", False):
-                markers.append(t)
                 continue
             if t.edge not in final:
                 order.append(t.edge)
             final[t.edge] = t
         inserts = [e for e in order if final[e].op == "+"]
         deletes = [e for e in order if final[e].op == "-"]
-        if inserts or deletes:
-            self.impl.apply_batch(insertions=inserts, deletions=deletes)
-            self.batches_applied += 1
+        failures: dict[Edge, BaseException] = {}
+        try:
+            if inserts or deletes:
+                failures = self._apply_edges(inserts, deletes)
+                self.batches_applied += 1
+        except BaseException as exc:
+            # The batch died and the thread is about to die with it: complete
+            # every ticket of this batch with a typed error first, so no
+            # producer is left waiting on an in-flight ticket.
+            death = CoordinatorDiedError("batch application failed")
+            death.__cause__ = exc
+            for t in batch:
+                t.fail(death)
+            raise
         applied_in = getattr(self.impl, "batch_number", self.batches_applied)
         for t in batch:
-            if not getattr(t, "edge_is_marker", False):
+            if getattr(t, "edge_is_marker", False):
+                t._event.set()
+                continue
+            # Superseded duplicates share the fate of the edge's final op.
+            err = failures.get(t.edge)
+            if err is not None:
+                t.fail(err)
+            else:
                 t.applied_in_batch = applied_in
                 self.updates_applied += 1
-            t._event.set()
+                t._event.set()

@@ -134,3 +134,67 @@ class TestConcurrentProducers:
             assert cp.graph.has_edge(1, 2)
             assert cp.graph.has_edge(0, 2)
             assert coord.read(0) >= 1.0
+
+
+class TestTypedFailures:
+    """Satellite guarantees: submit-after-close, wait timeout, and a died
+    update thread all surface as typed errors — tickets never strand."""
+
+    def test_submit_after_close_is_coordinator_closed_error(self):
+        from repro.errors import CoordinatorClosedError
+
+        coord = BatchCoordinator(CPLDS(2))
+        coord.close()
+        with pytest.raises(CoordinatorClosedError):
+            coord.submit_insert(0, 1)
+        with pytest.raises(CoordinatorClosedError):
+            coord.submit_delete(0, 1)
+
+    def test_wait_timeout_raises_typed(self):
+        from repro.errors import TicketTimeoutError
+        from repro.runtime.coordinator import UpdateTicket
+
+        ticket = UpdateTicket("+", (0, 1))  # never completed
+        with pytest.raises(TicketTimeoutError):
+            ticket.wait(timeout=0.01)
+        assert isinstance(TicketTimeoutError("x"), TimeoutError)
+
+    def test_close_drains_pending_tickets_typed(self):
+        from repro.errors import CoordinatorClosedError
+
+        coord = BatchCoordinator(CPLDS(8), max_batch=1024, max_delay=60.0)
+        tickets = [coord.submit_insert(u, u + 1) for u in range(5)]
+        coord.close()
+        # close() flushes: tickets either applied or failed typed — not hung.
+        for t in tickets:
+            try:
+                assert t.wait(timeout=5.0)
+            except CoordinatorClosedError:
+                pass
+
+    def test_died_thread_fails_tickets_typed(self):
+        from repro.errors import CoordinatorDiedError
+        from repro.lds.plds import UpdateHooks
+        from repro.runtime.inject import HookChain
+
+        class AlwaysDie(UpdateHooks):
+            def batch_begin(self, kind, edges):
+                raise RuntimeError("boom")
+
+        cp = CPLDS(8)
+        cp.plds.hooks = HookChain(cp.plds.hooks, AlwaysDie())
+        coord = BatchCoordinator(cp, max_batch=4, max_delay=0.001)
+        tickets = [coord.submit_insert(u, u + 1) for u in range(3)]
+        results = []
+        for t in tickets:
+            try:
+                results.append(t.wait(timeout=10.0))
+            except CoordinatorDiedError as exc:
+                results.append(exc)
+        assert all(isinstance(r, CoordinatorDiedError) for r in results)
+        # Post-death submissions are refused with the same typed error, and
+        # close() re-raises the cause of death instead of hiding it.
+        with pytest.raises(CoordinatorDiedError):
+            coord.submit_insert(5, 6)
+        with pytest.raises(CoordinatorDiedError):
+            coord.close()

@@ -1,0 +1,166 @@
+"""Tests for the write-ahead batch journal (scan, commit filtering,
+torn-tail tolerance, mid-stream corruption, reopen, compaction)."""
+
+import os
+
+import pytest
+
+from repro.core import CPLDS
+from repro.errors import JournalCorruptError, PersistError
+from repro.lds import LDSParams
+from repro.persist import BatchJournal, cplds_from_snapshot
+
+
+def make_journal(path, n=8):
+    return BatchJournal.create(
+        path, num_vertices=n, params=LDSParams(n)
+    )
+
+
+class TestRoundTrip:
+    def test_committed_batches_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with make_journal(path) as j:
+            s1 = j.append_batch([(0, 1), (1, 2)], [])
+            j.commit(s1)
+            s2 = j.append_batch([(2, 3)], [(0, 1)])
+            j.commit(s2)
+        contents = BatchJournal.scan(path)
+        recs = contents.committed_batches()
+        assert [r.seq for r in recs] == [s1, s2]
+        assert recs[0].insertions == ((0, 1), (1, 2))
+        assert recs[1].deletions == ((0, 1),)
+        assert not contents.torn_tail
+
+    def test_uncommitted_batch_not_replayable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with make_journal(path) as j:
+            s1 = j.append_batch([(0, 1)], [])
+            j.commit(s1)
+            j.append_batch([(1, 2)], [])  # write-ahead, never committed
+        recs = BatchJournal.scan(path).committed_batches()
+        assert [r.seq for r in recs] == [s1]
+
+    def test_genesis_carries_params(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        params = LDSParams(9, delta=0.5, lam=1.0)
+        BatchJournal.create(path, num_vertices=9, params=params).close()
+        genesis = BatchJournal.scan(path).genesis
+        assert genesis["num_vertices"] == 9
+        assert genesis["delta"] == 0.5
+
+    def test_create_refuses_existing_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path).close()
+        with pytest.raises(PersistError):
+            make_journal(path)
+
+    def test_checkpoint_notes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with make_journal(path) as j:
+            s = j.append_batch([(0, 1)], [])
+            j.commit(s)
+            j.note_checkpoint(s, "checkpoint-00000001.npz")
+        notes = BatchJournal.scan(path).checkpoint_notes()
+        assert notes == [(s, "checkpoint-00000001.npz")]
+
+
+class TestDamage:
+    def _journal_with_batches(self, path, count=3):
+        with make_journal(path) as j:
+            for i in range(count):
+                seq = j.append_batch([(i, i + 1)], [])
+                j.commit(seq)
+        return path
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = self._journal_with_batches(tmp_path / "j.jsonl")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 5)  # tear the final record
+        contents = BatchJournal.scan(path)
+        assert contents.torn_tail
+        # The final commit marker was torn off: batch 3 is uncommitted.
+        assert [r.seq for r in contents.committed_batches()] == [1, 2]
+
+    def test_mid_stream_corruption_raises(self, tmp_path):
+        path = self._journal_with_batches(tmp_path / "j.jsonl")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b"xxxx corrupted\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptError):
+            BatchJournal.scan(path)
+
+    def test_corrupt_genesis_raises(self, tmp_path):
+        path = self._journal_with_batches(tmp_path / "j.jsonl")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"not a genesis record\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptError):
+            BatchJournal.scan(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"")
+        with pytest.raises(JournalCorruptError):
+            BatchJournal.scan(path)
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        # A torn record must be chopped before appending, otherwise new
+        # records land after the damage and the next scan sees mid-stream
+        # corruption (found by the chaos harness).
+        path = self._journal_with_batches(tmp_path / "j.jsonl")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 5)
+        with BatchJournal.open(path) as j:
+            seq = j.append_batch([(5, 6)], [])
+            j.commit(seq)
+        contents = BatchJournal.scan(path)  # must not raise
+        assert not contents.torn_tail
+        assert seq in {r.seq for r in contents.committed_batches()}
+
+    def test_reopen_never_reuses_sequence_numbers(self, tmp_path):
+        path = self._journal_with_batches(tmp_path / "j.jsonl", count=3)
+        with BatchJournal.open(path) as j:
+            assert j.append_batch([(6, 7)], []) == 4
+
+
+class TestCompaction:
+    def test_compacted_journal_restores_alone(self, tmp_path):
+        cp = CPLDS(8)
+        cp.insert_batch([(0, 1), (1, 2), (0, 2), (2, 3)])
+        path = tmp_path / "j.jsonl"
+        j = BatchJournal.compact(path, cplds=cp, seq=5)
+        s = j.append_batch([(3, 4)], [])
+        j.commit(s)
+        assert s == 6
+        j.close()
+        contents = BatchJournal.scan(path)
+        assert contents.floor() == 5
+        restored = cplds_from_snapshot(
+            contents.genesis, contents.latest_snapshot()
+        )
+        assert restored.levels() == cp.levels()
+        assert sorted(restored.graph.edges()) == sorted(cp.graph.edges())
+        # Only the post-snapshot suffix remains as batch records.
+        assert [r.seq for r in contents.committed_batches()] == [6]
+
+    def test_floor_zero_without_snapshot(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path).close()
+        contents = BatchJournal.scan(path)
+        assert contents.floor() == 0
+        assert contents.latest_snapshot() is None
+
+    def test_compaction_replaces_old_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with make_journal(path) as j:
+            for i in range(4):
+                j.commit(j.append_batch([(i, i + 1)], []))
+        cp = CPLDS(8)
+        cp.insert_batch([(0, 1)])
+        BatchJournal.compact(path, cplds=cp, seq=4).close()
+        contents = BatchJournal.scan(path)
+        assert contents.committed_batches() == []
+        assert contents.floor() == 4

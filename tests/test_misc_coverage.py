@@ -83,14 +83,16 @@ class TestPersistExtras:
         assert (tmp_path / "wounded.npz").exists()
 
     def test_load_rejects_invalid_levels(self, tmp_path):
-        from repro.errors import InvariantViolation
+        from repro.errors import CheckpointCorruptError
         from repro.persist import load_cplds, save_cplds
 
         cp = CPLDS(6)
         cp.insert_batch([(0, 1), (1, 2)])
         cp.plds.state.level[0] = 5
         save_cplds(cp, tmp_path / "wounded.npz", verify=False)
-        with pytest.raises((AssertionError, InvariantViolation)):
+        # An archive that decodes to an invalid LDS state is corrupt, with
+        # the typed error recovery code dispatches on.
+        with pytest.raises(CheckpointCorruptError):
             load_cplds(tmp_path / "wounded.npz")
 
 

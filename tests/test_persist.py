@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import CPLDS
-from repro.errors import BatchInProgressError, ReproError
+from repro.errors import (
+    BatchInProgressError,
+    CheckpointCorruptError,
+    PersistError,
+    ReproError,
+)
 from repro.graph import generators as gen
 from repro.lds import LDSParams
 from repro.persist import load_cplds, save_cplds
@@ -86,3 +91,65 @@ class TestGuards:
         np.savez_compressed(path, **payload)
         with pytest.raises(ReproError):
             load_cplds(path)
+
+
+class TestCorruption:
+    """Damaged archives must raise the typed CheckpointCorruptError."""
+
+    def _saved(self, tmp_path):
+        cp = build()
+        path = tmp_path / "kcore.npz"
+        save_cplds(cp, path)
+        return path
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            load_cplds(path)
+
+    def test_bit_flip_rejected(self, tmp_path):
+        import zipfile
+
+        path = self._saved(tmp_path)
+        # Flip bytes inside the levels member's compressed stream (a flip in
+        # zip-format slack would go unnoticed by any checksum).
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo("levels.npy")
+        offset = info.header_offset + 60  # past the local header, into data
+        data = bytearray(path.read_bytes())
+        for i in range(offset, offset + 8):
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError):
+            load_cplds(path)
+
+    def test_tampered_field_fails_checksum(self, tmp_path):
+        path = self._saved(tmp_path)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["batch_number"] = np.int64(int(payload["batch_number"]) + 7)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointCorruptError):
+            load_cplds(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointCorruptError):
+            load_cplds(tmp_path / "nope.npz")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorruptError):
+            load_cplds(path)
+
+    def test_error_is_typed_persist_error(self, tmp_path):
+        path = tmp_path / "nope.npz"
+        try:
+            load_cplds(path)
+        except CheckpointCorruptError as exc:
+            assert isinstance(exc, PersistError)
+            assert isinstance(exc, ReproError)
+        else:  # pragma: no cover - the load must fail
+            raise AssertionError("expected CheckpointCorruptError")
