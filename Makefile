@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-full reproduce reproduce-full examples clean
+# Every target runs against the in-tree sources, no install required.
+export PYTHONPATH = src
+
+.PHONY: install test chaos bench bench-full bench-json reproduce reproduce-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,9 +18,14 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr4.json
 
 bench-full:
 	REPRO_BENCH_CONFIG=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) -m repro.harness.bench_json --full -o BENCH_pr4.json
+
+bench-json:
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr4.json
 
 reproduce:
 	$(PYTHON) -m repro.harness.run_all

@@ -11,9 +11,13 @@ from repro.harness import experiments as E
 from repro.harness import report as R
 
 
-def test_fig3_read_latency(benchmark, config, emit):
+def test_fig3_read_latency(benchmark, backend_config, emit):
+    config = backend_config
     rows = benchmark.pedantic(E.fig3, args=(config,), rounds=1, iterations=1)
-    emit("Fig 3: read latency by implementation", R.render_fig3(rows))
+    emit(
+        f"Fig 3: read latency by implementation [{config.backend}]",
+        R.render_fig3(rows),
+    )
 
     by = {(r.dataset, r.impl, r.phase): r.stats for r in rows}
     checked_sync = checked_nonsync = 0

@@ -10,9 +10,12 @@ from repro.harness import experiments as E
 from repro.harness import report as R
 
 
-def test_fig5_update_times(benchmark, config, emit):
+def test_fig5_update_times(benchmark, backend_config, emit):
+    config = backend_config
     rows = benchmark.pedantic(E.fig5, args=(config,), rounds=1, iterations=1)
-    emit("Fig 5: batch update time", R.render_fig5(rows))
+    emit(
+        f"Fig 5: batch update time [{config.backend}]", R.render_fig5(rows)
+    )
 
     by = {(r.dataset, r.impl, r.phase): r for r in rows}
     checked = 0

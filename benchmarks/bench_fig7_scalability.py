@@ -14,10 +14,13 @@ from repro.harness import experiments as E
 from repro.harness import report as R
 
 
-def test_fig7_scalability(benchmark, config, emit):
-    cfg = config.with_(datasets=config.datasets[:2])
+def test_fig7_scalability(benchmark, backend_config, emit):
+    cfg = backend_config.with_(datasets=backend_config.datasets[:2])
     rows = benchmark.pedantic(E.fig7, args=(cfg,), rounds=1, iterations=1)
-    emit("Fig 7: throughput scalability (virtual ticks)", R.render_fig7(rows))
+    emit(
+        f"Fig 7: throughput scalability (virtual ticks) [{cfg.backend}]",
+        R.render_fig7(rows),
+    )
 
     def series(dataset, impl, direction, attr):
         pts = sorted(

@@ -35,6 +35,17 @@ def config() -> E.ExperimentConfig:
     return _select_config()
 
 
+@pytest.fixture(scope="session", params=("object", "columnar"))
+def backend(request) -> str:
+    """Level-store backend axis (Fig 3/5/7 run once per backend)."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def backend_config(config, backend) -> E.ExperimentConfig:
+    return config.with_(backend=backend)
+
+
 @pytest.fixture(scope="session")
 def emit():
     """Print a rendered experiment table under a banner."""

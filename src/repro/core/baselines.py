@@ -38,8 +38,11 @@ class NonSyncKCore:
         num_vertices: int,
         params: LDSParams | None = None,
         executor: Executor | None = None,
+        backend: str = "object",
     ) -> None:
-        self.plds = PLDS(num_vertices, params=params, executor=executor)
+        self.plds = PLDS(
+            num_vertices, params=params, executor=executor, backend=backend
+        )
         self.params = self.plds.params
         self.batch_number = 0
 
@@ -87,6 +90,23 @@ class NonSyncKCore:
     def graph(self):
         return self.plds.graph
 
+    @property
+    def backend(self) -> str:
+        return self.plds.state.backend
+
+    def snapshot_state(self) -> dict:
+        """Capture the full quiescent state."""
+        return {
+            "backend": self.backend,
+            "batch_number": self.batch_number,
+            "plds": self.plds.snapshot_state(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        self.plds.restore_state(snap["plds"])
+        self.batch_number = snap["batch_number"]
+
     def check_invariants(self) -> None:
         self.plds.check_invariants()
 
@@ -107,8 +127,11 @@ class SyncReadsKCore:
         num_vertices: int,
         params: LDSParams | None = None,
         executor: Executor | None = None,
+        backend: str = "object",
     ) -> None:
-        self.plds = PLDS(num_vertices, params=params, executor=executor)
+        self.plds = PLDS(
+            num_vertices, params=params, executor=executor, backend=backend
+        )
         self.params = self.plds.params
         self.batch_number = 0
         self._cond = threading.Condition()
@@ -193,6 +216,23 @@ class SyncReadsKCore:
     @property
     def graph(self):
         return self.plds.graph
+
+    @property
+    def backend(self) -> str:
+        return self.plds.state.backend
+
+    def snapshot_state(self) -> dict:
+        """Capture the full quiescent state (no batch in flight)."""
+        return {
+            "backend": self.backend,
+            "batch_number": self.batch_number,
+            "plds": self.plds.snapshot_state(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        self.plds.restore_state(snap["plds"])
+        self.batch_number = snap["batch_number"]
 
     def check_invariants(self) -> None:
         self.plds.check_invariants()

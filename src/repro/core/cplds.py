@@ -139,6 +139,9 @@ class CPLDS:
         it if updates are streaming in faster than a read can double-collect,
         which the paper's model excludes by making update processes
         synchronous).
+    backend:
+        Level-store backend name (``"object"`` or ``"columnar"``); see
+        :mod:`repro.lds.store`.
 
     Examples
     --------
@@ -155,9 +158,16 @@ class CPLDS:
         params: LDSParams | None = None,
         executor: Executor | None = None,
         max_read_retries: int = 10_000_000,
+        backend: str = "object",
     ) -> None:
         hooks = _MarkingHooks(self)
-        self.plds = PLDS(num_vertices, params=params, executor=executor, hooks=hooks)
+        self.plds = PLDS(
+            num_vertices,
+            params=params,
+            executor=executor,
+            hooks=hooks,
+            backend=backend,
+        )
         self.params = self.plds.params
         self.descriptors = DescriptorTable(num_vertices)
         self.batch_number = 0
@@ -327,6 +337,11 @@ class CPLDS:
         return self.plds.graph
 
     @property
+    def backend(self) -> str:
+        """The level-store backend this structure runs on."""
+        return self.plds.state.backend
+
+    @property
     def wounded(self) -> bool:
         """True if a batch ever raised mid-flight on this structure.
 
@@ -348,6 +363,7 @@ class CPLDS:
             self.graph.num_vertices,
             params=self.params,
             max_read_retries=self.max_read_retries,
+            backend=self.backend,
         )
 
     def rebuild(self) -> None:
@@ -371,15 +387,35 @@ class CPLDS:
         self.descriptors.marked_vertices.clear()
         self._batch_partners = {}
         # Reset the graph + level state and replay.
-        for v in range(n):
-            graph.neighbors_unsafe(v).clear()
-        graph._m = 0  # type: ignore[attr-defined]
-        state = self.plds.state
-        state.level[:] = [0] * n
-        state.up_deg[:] = [0] * n
-        for v in range(n):
-            state.down[v] = {}
+        graph.clear()
+        self.plds.state.reset()
         self.insert_batch(edges)
+        self._wounded = False
+
+    # ------------------------------------------------------------------
+    # State management (quiescent use)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the full quiescent state (no batch may be in flight)."""
+        return {
+            "backend": self.backend,
+            "batch_number": self.batch_number,
+            "plds": self.plds.snapshot_state(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place.
+
+        Also discards any derived per-batch state (descriptors, partner
+        map, the wounded flag), so it doubles as the exact-state recovery
+        path after a batch died mid-flight.
+        """
+        n = self.graph.num_vertices
+        self.descriptors.slots[:] = [None] * n
+        self.descriptors.marked_vertices.clear()
+        self._batch_partners = {}
+        self.plds.restore_state(snap["plds"])
+        self.batch_number = snap["batch_number"]
         self._wounded = False
 
     def check_invariants(self) -> None:

@@ -72,9 +72,14 @@ class NaiveMarkedKCore:
         params: LDSParams | None = None,
         executor: Executor | None = None,
         max_read_retries: int = 10_000_000,
+        backend: str = "object",
     ) -> None:
         self.plds = PLDS(
-            num_vertices, params=params, executor=executor, hooks=_NaiveHooks(self)
+            num_vertices,
+            params=params,
+            executor=executor,
+            hooks=_NaiveHooks(self),
+            backend=backend,
         )
         self.params = self.plds.params
         self.slots: list[Optional[Descriptor]] = [UNMARKED] * num_vertices
@@ -143,6 +148,25 @@ class NaiveMarkedKCore:
     @property
     def graph(self):
         return self.plds.graph
+
+    @property
+    def backend(self) -> str:
+        return self.plds.state.backend
+
+    def snapshot_state(self) -> dict:
+        """Capture the full quiescent state."""
+        return {
+            "backend": self.backend,
+            "batch_number": self.batch_number,
+            "plds": self.plds.snapshot_state(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        self.slots[:] = [UNMARKED] * len(self.slots)
+        self._marked.clear()
+        self.plds.restore_state(snap["plds"])
+        self.batch_number = snap["batch_number"]
 
     def check_invariants(self) -> None:
         self.plds.check_invariants()

@@ -1,0 +1,49 @@
+"""The ``CoreEngine`` protocol: what every k-core engine must expose.
+
+An *engine* is any object that maintains an approximate k-core
+decomposition under batched edge updates — the sequential LDS, the batch
+PLDS, the concurrent CPLDS and its paper baselines all qualify.  The
+protocol is the structural contract the registry
+(:mod:`repro.engines`) hands out, and the surface runtime/, harness/,
+workloads/ and benchmarks/ are written against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.types import Edge, Vertex
+
+
+@runtime_checkable
+class CoreEngine(Protocol):
+    """Structural interface of a k-core engine.
+
+    All methods are quiescent-or-better: ``read`` may additionally be safe
+    under a concurrent batch (CPLDS), but the protocol only promises the
+    single-writer sequential contract.
+    """
+
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        """Apply an insertion batch; return the number of new edges."""
+        ...
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        """Apply a deletion batch; return the number of removed edges."""
+        ...
+
+    def read(self, v: Vertex) -> float:
+        """The engine's current coreness estimate of ``v``."""
+        ...
+
+    def levels(self) -> list[int]:
+        """Snapshot of all levels (quiescent use)."""
+        ...
+
+    def snapshot_state(self):
+        """Capture the full quiescent state for later :meth:`restore_state`."""
+        ...
+
+    def restore_state(self, snap) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        ...

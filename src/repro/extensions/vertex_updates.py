@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.cplds import CPLDS, ReadResult
+from repro.core.cplds import ReadResult
 from repro.errors import VertexOutOfRange, WorkloadError
 from repro.lds.params import LDSParams
 from repro.types import Edge, Vertex
@@ -28,6 +28,9 @@ class VertexUpdatableKCore:
         (matching the paper's fixed vertex universe).
     params:
         Optional :class:`LDSParams` (sized for ``capacity``).
+    backend:
+        Level-store backend for the underlying engine (``"object"`` or
+        ``"columnar"``).
 
     Examples
     --------
@@ -42,8 +45,18 @@ class VertexUpdatableKCore:
     False
     """
 
-    def __init__(self, capacity: int, params: LDSParams | None = None) -> None:
-        self.cplds = CPLDS(capacity, params=params)
+    def __init__(
+        self,
+        capacity: int,
+        params: LDSParams | None = None,
+        *,
+        backend: str = "object",
+    ) -> None:
+        from repro import engines
+
+        self.cplds = engines.create(
+            "cplds", capacity, params=params, backend=backend
+        )
         self.capacity = capacity
         self._active: list[bool] = [False] * capacity
 

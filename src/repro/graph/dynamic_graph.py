@@ -115,6 +115,13 @@ class DynamicGraph:
         g._m = self._m
         return g
 
+    def clear(self) -> None:
+        """Remove every edge, keeping the vertex universe and the adjacency
+        set objects (live references from hot loops stay valid)."""
+        for s in self._adj:
+            s.clear()
+        self._m = 0
+
     # ------------------------------------------------------------------
     # Batch mutation
     # ------------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""Machine-readable benchmark summary for the level-store backends.
+
+Runs the Fig 3 (read latency), Fig 5 (batch update time) and Fig 7
+(virtual-time throughput) drivers once per backend and writes one JSON
+document with per-figure CPLDS medians plus the two headline ratios the
+backend refactor is judged on:
+
+* ``fig5_update_speedup`` — object median batch time / columnar median
+  batch time (> 1 means the columnar backend updates faster);
+* ``fig3_latency_ratio`` — columnar median read latency / object median
+  (≈ 1 means no read-side regression).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.harness.bench_json -o BENCH_pr4.json
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from typing import Sequence
+
+from repro.harness import experiments as E
+from repro.lds.store import BACKENDS
+
+
+def _median(values: Sequence[float]) -> float:
+    return statistics.median(values) if values else float("nan")
+
+
+def _fig3_summary(config: E.ExperimentConfig) -> dict:
+    rows = E.fig3(config)
+    cplds = [r.stats.mean for r in rows if r.impl == "cplds"]
+    return {
+        "cplds_median_read_latency_s": _median(cplds),
+        "rows": [
+            {
+                "dataset": r.dataset,
+                "impl": r.impl,
+                "phase": r.phase,
+                "mean_s": r.stats.mean,
+                "p99_s": r.stats.p99,
+            }
+            for r in rows
+        ],
+    }
+
+
+def _fig5_summary(config: E.ExperimentConfig) -> dict:
+    rows = E.fig5(config)
+    cplds = [r.mean for r in rows if r.impl == "cplds"]
+    return {
+        "cplds_median_batch_time_s": _median(cplds),
+        "rows": [
+            {
+                "dataset": r.dataset,
+                "impl": r.impl,
+                "phase": r.phase,
+                "mean_s": r.mean,
+                "max_s": r.max,
+            }
+            for r in rows
+        ],
+    }
+
+
+def _fig7_summary(config: E.ExperimentConfig) -> dict:
+    cfg = config.with_(datasets=config.datasets[:1])
+    rows = E.fig7(cfg)
+    cplds_read = [
+        r.read_throughput
+        for r in rows
+        if r.impl == "cplds" and r.direction == "readers"
+    ]
+    cplds_write = [
+        r.write_throughput
+        for r in rows
+        if r.impl == "cplds" and r.direction == "writers"
+    ]
+    return {
+        "cplds_median_read_throughput": _median(cplds_read),
+        "cplds_median_write_throughput": _median(cplds_write),
+    }
+
+
+def collect(config: E.ExperimentConfig) -> dict:
+    """Run Figs 3/5/7 for every backend and assemble the summary document."""
+    per_backend: dict[str, dict] = {}
+    for backend in BACKENDS:
+        cfg = config.with_(backend=backend)
+        per_backend[backend] = {
+            "fig3": _fig3_summary(cfg),
+            "fig5": _fig5_summary(cfg),
+            "fig7": _fig7_summary(cfg),
+        }
+    obj = per_backend["object"]
+    col = per_backend["columnar"]
+    return {
+        "config": {
+            "datasets": list(config.datasets),
+            "batch_size": config.batch_size,
+            "trials": config.trials,
+        },
+        "backends": per_backend,
+        "fig5_update_speedup": (
+            obj["fig5"]["cplds_median_batch_time_s"]
+            / col["fig5"]["cplds_median_batch_time_s"]
+        ),
+        "fig3_latency_ratio": (
+            col["fig3"]["cplds_median_read_latency_s"]
+            / obj["fig3"]["cplds_median_read_latency_s"]
+        ),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: run the per-backend figure sweep and write the JSON summary."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_pr4.json")
+    parser.add_argument("--full", action="store_true",
+                        help="use the FULL config instead of QUICK")
+    args = parser.parse_args(argv)
+    config = E.FULL if args.full else E.QUICK
+    doc = collect(config)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {args.output}: "
+        f"fig5_update_speedup={doc['fig5_update_speedup']:.2f}x "
+        f"fig3_latency_ratio={doc['fig3_latency_ratio']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

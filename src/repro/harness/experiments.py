@@ -17,7 +17,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core import CPLDS, NonSyncKCore, SyncReadsKCore
+from repro import engines
 from repro.exact import degeneracy
 from repro.graph import datasets as ds
 from repro.harness.stats import LatencyStats
@@ -50,6 +50,8 @@ class ExperimentConfig:
     error_sample_size: int = 150
     #: Thread counts for the Fig 7 sweeps.
     thread_counts: tuple[int, ...] = (1, 2, 4, 8, 15)
+    #: Level-store backend every impl is built on (``"object"`` | ``"columnar"``).
+    backend: str = "object"
 
     def with_(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)
@@ -67,15 +69,11 @@ FULL = ExperimentConfig(
 
 
 def make_impl(kind: str, num_vertices: int, config: ExperimentConfig):
-    """Fresh implementation instance for one trial."""
+    """Fresh implementation instance for one trial (via the engine registry)."""
     params = LDSParams(num_vertices, levels_per_group=config.levels_per_group)
-    if kind == "cplds":
-        return CPLDS(num_vertices, params=params)
-    if kind == "nonsync":
-        return NonSyncKCore(num_vertices, params=params)
-    if kind == "syncreads":
-        return SyncReadsKCore(num_vertices, params=params)
-    raise ValueError(f"unknown impl kind {kind!r}")
+    return engines.create(
+        kind, num_vertices, params=params, backend=config.backend
+    )
 
 
 def make_stream(name: str, config: ExperimentConfig, trial: int) -> BatchStream:
@@ -403,6 +401,7 @@ def fig6_flash(
     *,
     levels_per_group: int | None = 20,
     sample_stride: int = 4,
+    backend: str = "object",
 ) -> list[FlashErrorRow]:
     """§6.3's unbounded-error argument, measured directly.
 
@@ -423,11 +422,7 @@ def fig6_flash(
         oracle.push_batch("insert", background)
         oracle.push_batch("insert", clique)
         for impl_kind in ("cplds", "nonsync"):
-            impl = (
-                CPLDS(n, params=params)
-                if impl_kind == "cplds"
-                else NonSyncKCore(n, params=params)
-            )
+            impl = engines.create(impl_kind, n, params=params, backend=backend)
             stats = ErrorStats()
 
             def on_point(_tag, impl=impl, stats=stats):

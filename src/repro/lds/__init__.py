@@ -2,7 +2,10 @@
 
 * :mod:`repro.lds.params` — the (δ, λ) parameterisation, group arithmetic and
   invariant thresholds shared by every structure.
-* :mod:`repro.lds.bookkeeping` — per-vertex level state and degree counters.
+* :mod:`repro.lds.bookkeeping` — per-vertex level state and degree counters
+  (the ``"object"`` level-store backend).
+* :mod:`repro.lds.store` — the pluggable :class:`LevelStore` seam and the
+  vectorised ``"columnar"`` backend.
 * :mod:`repro.lds.lds` — the sequential LDS of Bhattacharya et al. /
   Henzinger et al. (one-level-at-a-time rebalancing after each edge update).
 * :mod:`repro.lds.plds` — the parallel batch-dynamic PLDS of Liu et al.
@@ -16,5 +19,22 @@ from repro.lds.params import LDSParams
 from repro.lds.lds import LDS
 from repro.lds.plds import PLDS
 from repro.lds.coreness import coreness_estimate
+from repro.lds.store import (
+    BACKENDS,
+    ColumnarLevelStore,
+    LevelStore,
+    make_store,
+)
+from repro.lds.bookkeeping import ObjectLevelStore
 
-__all__ = ["LDSParams", "LDS", "PLDS", "coreness_estimate"]
+__all__ = [
+    "LDSParams",
+    "LDS",
+    "PLDS",
+    "coreness_estimate",
+    "BACKENDS",
+    "ColumnarLevelStore",
+    "LevelStore",
+    "ObjectLevelStore",
+    "make_store",
+]

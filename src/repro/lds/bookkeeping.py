@@ -19,20 +19,28 @@ synchronisation in the single-writer configurations this library runs
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Iterable
 
+from repro.errors import LDSError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.lds.params import LDSParams
 from repro.types import Vertex
 
 
-class LevelState:
+class ObjectLevelStore:
     """Mutable level/degree bookkeeping for all vertices of one graph.
 
     The class is a pure state holder plus local update rules; the rebalancing
     *policies* (when to move which vertex) live in :class:`~repro.lds.lds.LDS`
     and :class:`~repro.lds.plds.PLDS`.
+
+    This is the ``"object"`` backend of the :class:`~repro.lds.store.LevelStore`
+    seam — the original plain-Python representation, kept as the semantic
+    reference that the columnar backend is differentially tested against.
     """
+
+    backend = "object"
+    supports_bulk = False
 
     __slots__ = ("params", "graph", "level", "up_deg", "down")
 
@@ -244,21 +252,84 @@ class LevelState:
         """A copy of all live levels (quiescent use only)."""
         return list(self.level)
 
-    def apply_edges(
-        self,
-        edges: Iterable[tuple[Vertex, Vertex]],
-        graph_op: Callable[..., int],
-        book_op: Callable[[Vertex, Vertex], None],
-    ) -> list[tuple[Vertex, Vertex]]:
-        """Apply a batch to the graph and counters; return the effective edges.
+    def snapshot_levels(self) -> list[int]:
+        """An indexable copy of the live levels (same as the list snapshot)."""
+        return list(self.level)
 
-        ``graph_op`` is :meth:`DynamicGraph.insert_batch` or ``delete_batch``
-        (used here edge-by-edge so bookkeeping stays in lock-step with the
-        graph), ``book_op`` the matching counter update.
+    def apply_edges(
+        self, edges: Iterable[tuple[Vertex, Vertex]], kind: str
+    ) -> list[tuple[Vertex, Vertex]]:
+        """Apply one pre-filtered batch to the graph, then fix counters.
+
+        Callers (PLDS) canonicalise and dedup the batch against the graph
+        first, so the whole batch goes through ``insert_batch``/``delete_batch``
+        in one call; the per-edge counter updates are order-independent
+        because levels are held fixed while a batch is applied.
         """
-        applied: list[tuple[Vertex, Vertex]] = []
-        for u, v in edges:
-            if graph_op([(u, v)]):
-                book_op(u, v)
-                applied.append((u, v))
-        return applied
+        batch = list(edges)
+        if not batch:
+            return batch
+        if kind == "insert":
+            applied = self.graph.insert_batch(batch)
+            book_op = self.on_edge_inserted
+        elif kind == "delete":
+            applied = self.graph.delete_batch(batch)
+            book_op = self.on_edge_deleted
+        else:
+            raise ValueError(f"unknown edge-batch kind {kind!r}")
+        if applied != len(batch):
+            raise LDSError(
+                f"apply_edges expects a pre-filtered batch: {len(batch)} "
+                f"edges submitted but {applied} applied"
+            )
+        for u, v in batch:
+            book_op(u, v)
+        return batch
+
+    # ------------------------------------------------------------------
+    # State management (snapshot / restore / reload)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all levels and recompute counters for the current graph
+        (every vertex back at level 0)."""
+        n = self.graph.num_vertices
+        self.level[:] = [0] * n
+        self.down[:] = [dict() for _ in range(n)]
+        self.up_deg[:] = [self.graph.degree(v) for v in range(n)]
+
+    def load_levels(self, levels) -> None:
+        """Adopt a level assignment and rebuild all counters from the graph."""
+        n = self.graph.num_vertices
+        lv = [int(x) for x in levels]
+        if len(lv) != n:
+            raise ValueError(f"expected {n} levels, got {len(lv)}")
+        if lv and (min(lv) < 0 or max(lv) >= self.params.num_levels):
+            raise ValueError("level assignment out of range")
+        self.level[:] = lv
+        up, down = self.recompute_counters()
+        self.up_deg[:] = up
+        self.down[:] = down
+
+    def snapshot(self):
+        """A deep-enough copy of the full counter state (levels + degrees)."""
+        return (
+            list(self.level),
+            list(self.up_deg),
+            [dict(d) for d in self.down],
+        )
+
+    def restore(self, snap) -> None:
+        """Restore a :meth:`snapshot` (the snapshot stays reusable).
+
+        ``level``/``up_deg`` are written in place so references held by the
+        read hot path stay valid.
+        """
+        level, up_deg, down = snap
+        self.level[:] = level
+        self.up_deg[:] = up_deg
+        self.down[:] = [dict(d) for d in down]
+
+
+#: Historical name for the object backend, kept for callers/tests that
+#: predate the LevelStore seam.
+LevelState = ObjectLevelStore

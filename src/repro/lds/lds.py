@@ -18,8 +18,8 @@ from typing import Iterable
 
 from repro.errors import LDSError
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.lds.bookkeeping import LevelState
 from repro.lds.params import LDSParams
+from repro.lds.store import LevelStore, make_store
 from repro.types import Edge, Vertex
 
 
@@ -35,6 +35,9 @@ class LDS:
     graph:
         Optional existing :class:`DynamicGraph` to adopt; it must be empty
         (bring edges in through :meth:`insert_edge` so levels stay correct).
+    backend:
+        Level-store backend name (``"object"`` or ``"columnar"``); see
+        :mod:`repro.lds.store`.
 
     Examples
     --------
@@ -50,6 +53,7 @@ class LDS:
         num_vertices: int,
         params: LDSParams | None = None,
         graph: DynamicGraph | None = None,
+        backend: str = "object",
     ) -> None:
         if graph is not None and graph.num_edges:
             raise LDSError(
@@ -57,7 +61,8 @@ class LDS:
             )
         self.graph = graph if graph is not None else DynamicGraph(num_vertices)
         self.params = params if params is not None else LDSParams(num_vertices)
-        self.state = LevelState(self.graph, self.params)
+        self.state: LevelStore = make_store(backend, self.graph, self.params)
+        self.backend = self.state.backend
         #: Safety valve for the rebalance fixpoint (theory guarantees
         #: termination; this catches implementation bugs loudly).
         self._max_moves = max(1, num_vertices) * self.params.num_levels * 4 + 64
@@ -103,6 +108,34 @@ class LDS:
     def delete_edges(self, edges: Iterable[Edge]) -> int:
         """Delete edges one at a time; return count."""
         return sum(1 for u, v in edges if self.delete_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # CoreEngine adapter surface (see repro.engines)
+    # ------------------------------------------------------------------
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        """Engine-protocol alias: sequential one-at-a-time insertion."""
+        return self.insert_edges(edges)
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        """Engine-protocol alias: sequential one-at-a-time deletion."""
+        return self.delete_edges(edges)
+
+    def read(self, v: Vertex) -> float:
+        """Engine-protocol alias for :meth:`coreness_estimate`."""
+        return self.coreness_estimate(v)
+
+    def snapshot_state(self) -> dict:
+        """Capture the full structure state (graph edges + level store)."""
+        return {
+            "edges": tuple(self.graph.edges()),
+            "store": self.state.snapshot(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        self.graph.clear()
+        self.graph.insert_batch(snap["edges"])
+        self.state.restore(snap["store"])
 
     # ------------------------------------------------------------------
     # Rebalancing

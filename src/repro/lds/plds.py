@@ -31,12 +31,17 @@ from typing import Iterable, Literal, Sequence
 
 from repro.errors import LDSError
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.lds.bookkeeping import LevelState
 from repro.lds.params import LDSParams
+from repro.lds.store import LevelStore, make_store
 from repro.runtime.executor import Executor, SequentialExecutor
 from repro.types import Edge, Vertex, canonicalize_batch
 
 Phase = Literal["insert", "delete"]
+
+
+def _noop(i: int) -> None:
+    """Placeholder round item for bulk decisions — keeps executor round and
+    work accounting identical across storage backends."""
 
 
 class UpdateHooks:
@@ -73,6 +78,9 @@ class PLDS:
         Round executor; defaults to :class:`SequentialExecutor`.
     hooks:
         :class:`UpdateHooks` for batch instrumentation (CPLDS marking).
+    backend:
+        Level-store backend name (``"object"`` or ``"columnar"``); see
+        :mod:`repro.lds.store`.
 
     Examples
     --------
@@ -90,6 +98,7 @@ class PLDS:
         graph: DynamicGraph | None = None,
         executor: Executor | None = None,
         hooks: UpdateHooks | None = None,
+        backend: str = "object",
     ) -> None:
         if graph is not None and graph.num_edges:
             raise LDSError(
@@ -97,7 +106,8 @@ class PLDS:
             )
         self.graph = graph if graph is not None else DynamicGraph(num_vertices)
         self.params = params if params is not None else LDSParams(num_vertices)
-        self.state = LevelState(self.graph, self.params)
+        self.state: LevelStore = make_store(backend, self.graph, self.params)
+        self.backend = self.state.backend
         self.executor: Executor = executor if executor is not None else SequentialExecutor()
         self.hooks: UpdateHooks = hooks if hooks is not None else UpdateHooks()
         #: Move/round counters for the last executed batch (bench telemetry).
@@ -137,6 +147,16 @@ class PLDS:
         self._delete_phase(batch)
         return len(batch)
 
+    # CoreEngine aliases (see repro.engines.base).
+    def insert_batch(self, edges: Iterable[Edge]) -> int:
+        return self.batch_insert(edges)
+
+    def delete_batch(self, edges: Iterable[Edge]) -> int:
+        return self.batch_delete(edges)
+
+    def read(self, v: Vertex) -> float:
+        return self.coreness_estimate(v)
+
     def apply_batch(
         self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
     ) -> tuple[int, int]:
@@ -167,9 +187,7 @@ class PLDS:
     # ------------------------------------------------------------------
     def _insert_phase(self, batch: Sequence[Edge]) -> None:
         state = self.state
-        applied = state.apply_edges(
-            batch, self.graph.insert_batch, state.on_edge_inserted
-        )
+        applied = state.apply_edges(batch, "insert")
         self.hooks.batch_begin("insert", applied)
         try:
             pending: dict[int, set[Vertex]] = {}
@@ -184,8 +202,8 @@ class PLDS:
                     bucket.add(v)
 
             for u, v in applied:
-                enqueue(u, state.level[u])
-                enqueue(v, state.level[v])
+                enqueue(u, int(state.level[u]))
+                enqueue(v, int(state.level[v]))
 
             max_level = self.params.max_level
             while heap:
@@ -201,17 +219,31 @@ class PLDS:
                     # shallow levels_per_group overrides; see LDSParams).
                     continue
                 new_level = lvl + 1
-                for v in movers:
-                    self.hooks.before_move(v, lvl, new_level, "insert")
-                    state.set_level(v, new_level)
-                self._count_moves(len(movers))
-                # Movers re-check at the next level; their new same-level
-                # neighbours gained an up-neighbour and must re-check too.
-                for v in movers:
-                    enqueue(v, new_level)
-                    for w in self.graph.neighbors_unsafe(v):
-                        if state.level[w] == new_level:
-                            enqueue(w, new_level)
+                if state.supports_bulk:
+                    # Hooks fire per mover in the same order as the scalar
+                    # path; deferring the level writes to one scatter pass
+                    # cannot change any hook's trigger scan (same-round
+                    # movers satisfy `level >= lvl` at either ℓ or ℓ+1).
+                    for v in movers:
+                        self.hooks.before_move(v, lvl, new_level, "insert")
+                    requeue = state.bulk_raise_level(movers, lvl)
+                    self._count_moves(len(movers))
+                    for v in movers:
+                        enqueue(v, new_level)
+                    for w in requeue:
+                        enqueue(w, new_level)
+                else:
+                    for v in movers:
+                        self.hooks.before_move(v, lvl, new_level, "insert")
+                        state.set_level(v, new_level)
+                    self._count_moves(len(movers))
+                    # Movers re-check at the next level; their new same-level
+                    # neighbours gained an up-neighbour and must re-check too.
+                    for v in movers:
+                        enqueue(v, new_level)
+                        for w in self.graph.neighbors_unsafe(v):
+                            if state.level[w] == new_level:
+                                enqueue(w, new_level)
                 self.hooks.round_boundary()
         finally:
             self.hooks.batch_end()
@@ -221,6 +253,11 @@ class PLDS:
         if not cands:
             return []
         state = self.state
+        if state.supports_bulk:
+            # One vectorised kernel decides the whole round; the no-op round
+            # keeps executor round/work accounting backend-independent.
+            self.executor.run_round(_noop, range(len(cands)))
+            return state.bulk_inv1_violators(cands)
         flags = [False] * len(cands)
 
         def check(i: int) -> None:
@@ -234,9 +271,7 @@ class PLDS:
     # ------------------------------------------------------------------
     def _delete_phase(self, batch: Sequence[Edge]) -> None:
         state = self.state
-        applied = state.apply_edges(
-            batch, self.graph.delete_batch, state.on_edge_deleted
-        )
+        applied = state.apply_edges(batch, "delete")
         self.hooks.batch_begin("delete", applied)
         try:
             outstanding: set[Vertex] = set()
@@ -250,7 +285,7 @@ class PLDS:
                 lstar = min(d for _, d in desires)
                 movers = sorted(v for v, d in desires if d == lstar)
                 for v in movers:
-                    old = state.level[v]
+                    old = int(state.level[v])
                     self.hooks.before_move(v, old, lstar, "delete")
                     state.set_level(v, lstar)
                 self._count_moves(len(movers))
@@ -277,6 +312,12 @@ class PLDS:
             return []
         state = self.state
         cands = list(outstanding)
+        if state.supports_bulk:
+            self.executor.run_round(_noop, range(len(cands)))
+            pairs = state.bulk_desire_levels(cands)
+            outstanding.clear()
+            outstanding.update(v for v, _ in pairs)
+            return pairs
         desires: list[int] = [-1] * len(cands)
 
         def check(i: int) -> None:
@@ -301,6 +342,22 @@ class PLDS:
                 "batch rebalance exceeded the theoretical move budget; "
                 "this indicates a bookkeeping bug"
             )
+
+    # ------------------------------------------------------------------
+    # State management (quiescent use)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the full structure state (graph edges + level store)."""
+        return {
+            "edges": tuple(self.graph.edges()),
+            "store": self.state.snapshot(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        self.graph.clear()
+        self.graph.insert_batch(snap["edges"])
+        self.state.restore(snap["store"])
 
     # ------------------------------------------------------------------
     # Verification support

@@ -50,8 +50,13 @@ from repro.lds.params import LDSParams
 from repro.types import Edge
 
 #: Format version embedded in every checkpoint.  Version 2 added the CRC-32
-#: ``checksum`` field; version-1 archives are no longer loadable.
-FORMAT_VERSION = 2
+#: ``checksum`` field (version-1 archives are no longer loadable); version 3
+#: added the level-store ``backend`` field.  Version-2 archives still load
+#: (they predate the backend seam and restore onto the object backend).
+FORMAT_VERSION = 3
+
+#: Oldest checkpoint format :func:`load_cplds` still understands.
+MIN_FORMAT_VERSION = 2
 
 #: Format version embedded in every journal's genesis record.
 JOURNAL_VERSION = 1
@@ -68,11 +73,21 @@ def _checkpoint_checksum(
     delta: float,
     lam: float,
     group_height: int,
+    backend: str | None = None,
 ) -> int:
-    """CRC-32 over every field that determines the restored structure."""
+    """CRC-32 over every field that determines the restored structure.
+
+    ``backend=None`` reproduces the version-2 checksum (no backend field);
+    version-3 archives fold the backend name into the scalar tuple.
+    """
     crc = zlib.crc32(edges.tobytes())
     crc = zlib.crc32(levels.tobytes(), crc)
-    scalars = repr((num_vertices, batch_number, delta, lam, group_height))
+    if backend is None:
+        scalars = repr((num_vertices, batch_number, delta, lam, group_height))
+    else:
+        scalars = repr(
+            (num_vertices, batch_number, delta, lam, group_height, backend)
+        )
     return zlib.crc32(scalars.encode("utf-8"), crc)
 
 
@@ -96,8 +111,9 @@ def save_cplds(
         cplds.check_invariants()
     graph = cplds.graph
     edges = np.asarray(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
-    levels = np.asarray(cplds.plds.state.level, dtype=np.int64)
+    levels = np.asarray(cplds.plds.state.levels_snapshot(), dtype=np.int64)
     params = cplds.params
+    backend = cplds.backend
     checksum = _checkpoint_checksum(
         graph.num_vertices,
         edges,
@@ -106,6 +122,7 @@ def save_cplds(
         params.delta,
         params.lam,
         params.group_height,
+        backend,
     )
     np.savez_compressed(
         path,
@@ -117,6 +134,7 @@ def save_cplds(
         delta=np.float64(params.delta),
         lam=np.float64(params.lam),
         group_height=np.int64(params.group_height),
+        backend=np.str_(backend),
         checksum=np.uint32(checksum),
     )
 
@@ -136,10 +154,10 @@ def load_cplds(path: str | os.PathLike[str]) -> CPLDS:
         # that fails zip parsing) would otherwise leave it to the GC.
         with open(path, "rb") as fh, np.load(fh) as data:
             version = int(data["format_version"])
-            if version != FORMAT_VERSION:
+            if not MIN_FORMAT_VERSION <= version <= FORMAT_VERSION:
                 raise CheckpointCorruptError(
                     f"unsupported checkpoint format {version} "
-                    f"(expected {FORMAT_VERSION})"
+                    f"(supported: {MIN_FORMAT_VERSION}..{FORMAT_VERSION})"
                 )
             n = int(data["num_vertices"])
             edges_arr = np.asarray(data["edges"], dtype=np.int64).reshape(-1, 2)
@@ -148,6 +166,9 @@ def load_cplds(path: str | os.PathLike[str]) -> CPLDS:
             delta = float(data["delta"])
             lam = float(data["lam"])
             group_height = int(data["group_height"])
+            # Version 2 predates the backend seam: checksum with no backend
+            # component, restore onto the object backend.
+            backend = str(data["backend"]) if version >= 3 else None
             stored = int(data["checksum"])
     except ReproError:
         raise
@@ -156,7 +177,7 @@ def load_cplds(path: str | os.PathLike[str]) -> CPLDS:
             f"checkpoint {os.fspath(path)!r} is unreadable: {exc}"
         ) from exc
     expected = _checkpoint_checksum(
-        n, edges_arr, levels_arr, batch_number, delta, lam, group_height
+        n, edges_arr, levels_arr, batch_number, delta, lam, group_height, backend
     )
     if stored != expected:
         raise CheckpointCorruptError(
@@ -174,7 +195,10 @@ def load_cplds(path: str | os.PathLike[str]) -> CPLDS:
 
     # The restored levels must be a valid LDS state; fail fast otherwise.
     try:
-        return _restore_state(n, params, edges, levels, batch_number)
+        return _restore_state(
+            n, params, edges, levels, batch_number,
+            backend=backend if backend is not None else "object",
+        )
     except Exception as exc:
         raise CheckpointCorruptError(
             f"checkpoint {os.fspath(path)!r} decodes to an inconsistent "
@@ -188,17 +212,15 @@ def _restore_state(
     edges: list[Edge],
     levels: list[int],
     batch_number: int,
+    backend: str = "object",
 ) -> CPLDS:
     """Materialise a CPLDS from raw saved state (shared by checkpoint and
     journal-snapshot restore); raises on an inconsistent level assignment."""
-    cplds = CPLDS(n, params=params)
+    from repro import engines
+
+    cplds = engines.create("cplds", n, params=params, backend=backend)
     cplds.graph.insert_batch(edges)
-    state = cplds.plds.state
-    state.level[:] = levels
-    up, down = state.recompute_counters()
-    state.up_deg[:] = up
-    for v in range(n):
-        state.down[v] = down[v]
+    cplds.plds.state.load_levels(levels)
     cplds.batch_number = batch_number
     cplds.check_invariants()
     return cplds
@@ -226,6 +248,7 @@ def cplds_from_snapshot(genesis: dict, snapshot: dict) -> CPLDS:
             [(int(u), int(v)) for u, v in snapshot["edges"]],
             [int(x) for x in snapshot["levels"]],
             int(snapshot["batch_number"]),
+            backend=str(genesis.get("backend", "object")),
         )
     except ReproError:
         raise
@@ -317,8 +340,15 @@ class JournalContents:
         return int(snap["seq"]) if snap is not None else 0
 
 
-def _genesis_payload(num_vertices: int, params: LDSParams) -> dict:
-    """The journal's first record: dimensions and LDS parameters."""
+def _genesis_payload(
+    num_vertices: int, params: LDSParams, backend: str = "object"
+) -> dict:
+    """The journal's first record: dimensions, LDS parameters, backend.
+
+    ``backend`` is an additive field (journals written before the
+    level-store seam simply lack it and restore onto the object backend),
+    so the journal version is unchanged.
+    """
     return {
         "type": "genesis",
         "journal_version": JOURNAL_VERSION,
@@ -326,6 +356,7 @@ def _genesis_payload(num_vertices: int, params: LDSParams) -> dict:
         "delta": params.delta,
         "lam": params.lam,
         "group_height": params.group_height,
+        "backend": backend,
     }
 
 
@@ -389,12 +420,13 @@ class BatchJournal:
         *,
         num_vertices: int,
         params: LDSParams,
+        backend: str = "object",
         sync: bool = False,
     ) -> "BatchJournal":
         """Start a fresh journal at ``path`` (which must not exist)."""
         if os.path.exists(path):
             raise PersistError(f"journal {os.fspath(path)!r} already exists")
-        genesis = _genesis_payload(num_vertices, params)
+        genesis = _genesis_payload(num_vertices, params, backend)
         fh = open(path, "ab")
         journal = cls(
             path, _file=fh, _genesis=genesis, _next_seq=1, sync=sync
@@ -425,12 +457,14 @@ class BatchJournal:
         leaves either the old journal or the new one, never a hybrid.
         """
         path = os.fspath(path)
-        genesis = _genesis_payload(cplds.graph.num_vertices, cplds.params)
+        genesis = _genesis_payload(
+            cplds.graph.num_vertices, cplds.params, cplds.backend
+        )
         snapshot = {
             "type": "snapshot",
             "seq": int(seq),
             "batch_number": int(cplds.batch_number),
-            "levels": [int(x) for x in cplds.plds.state.level],
+            "levels": [int(x) for x in cplds.plds.state.levels_snapshot()],
             "edges": [[int(u), int(v)] for u, v in cplds.graph.edges()],
         }
         tmp = path + ".tmp"

@@ -93,6 +93,7 @@ class ChaosResult:
     """Verdict and statistics of one seeded chaos schedule."""
 
     seed: int
+    backend: str
     num_vertices: int
     batches_submitted: int
     crashes_armed: int
@@ -158,6 +159,7 @@ def run_chaos(
     journal_dir: str | os.PathLike[str],
     *,
     num_batches: int | None = None,
+    backend: str = "object",
 ) -> ChaosResult:
     """Execute one seeded fault schedule against a supervised service.
 
@@ -165,8 +167,11 @@ def run_chaos(
     into ``journal_dir``, which must be empty) while injecting the seed's
     fault schedule, then renders the oracle-equivalence verdict described
     in the module docstring.  Everything — workload, faults, recovery — is
-    deterministic in ``seed``.
+    deterministic in ``seed``; ``backend`` picks the level-store layout
+    without perturbing the schedule (rng consumption is backend-blind).
     """
+    from repro import engines
+
     rng = random.Random(seed)
     n = rng.randint(16, 40)
     batches = num_batches if num_batches is not None else rng.randint(12, 24)
@@ -179,7 +184,7 @@ def run_chaos(
         impl.plds.hooks = HookChain(impl.plds.hooks, hooks)
 
     service = SupervisedCPLDS(
-        CPLDS(n),
+        engines.create("cplds", n, backend=backend),
         journal_dir=directory,
         checkpoint_every=rng.randint(2, 6),
         keep_checkpoints=2,
@@ -252,7 +257,9 @@ def run_chaos(
     # ------------------------------------------------------------------
     # Verdict
     # ------------------------------------------------------------------
-    oracle = CPLDS(n, params=service.impl.params)
+    oracle = engines.create(
+        "cplds", n, params=service.impl.params, backend=backend
+    )
     for rec in history:
         oracle.apply_batch(rec.insertions, rec.deletions)
     mismatches = tuple(
@@ -268,6 +275,7 @@ def run_chaos(
     service.close()
     return ChaosResult(
         seed=seed,
+        backend=backend,
         num_vertices=n,
         batches_submitted=batches,
         crashes_armed=crashes_armed,
@@ -286,12 +294,14 @@ def run_chaos(
     )
 
 
-def run_sweep(seeds: Sequence[int]) -> list[ChaosResult]:
+def run_sweep(
+    seeds: Sequence[int], *, backend: str = "object"
+) -> list[ChaosResult]:
     """Run one schedule per seed (each in a throwaway directory)."""
     results = []
     for seed in seeds:
         with tempfile.TemporaryDirectory(prefix=f"chaos-{seed}-") as d:
-            results.append(run_chaos(seed, d))
+            results.append(run_chaos(seed, d, backend=backend))
     return results
 
 
@@ -304,14 +314,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="number of seeded schedules to run")
     parser.add_argument("--start", type=int, default=0,
                         help="first seed of the sweep")
+    parser.add_argument("--backend", default="object",
+                        help="level-store backend (object | columnar)")
     args = parser.parse_args(argv)
-    results = run_sweep(range(args.start, args.start + args.seeds))
+    results = run_sweep(
+        range(args.start, args.start + args.seeds), backend=args.backend
+    )
     failures = [r for r in results if not r.converged]
     total_faults = sum(
         r.crashes_armed + r.poison_edges + r.restarts for r in results
     )
     print(
-        f"chaos sweep: {len(results)} schedules, {total_faults} faults, "
+        f"chaos sweep [{args.backend}]: {len(results)} schedules, "
+        f"{total_faults} faults, "
         f"{sum(r.recoveries for r in results)} recoveries, "
         f"{sum(r.quarantined for r in results)} quarantined updates, "
         f"{len(failures)} divergences"

@@ -166,7 +166,7 @@ class _Snapshot:
 
     __slots__ = ("levels", "batch", "params")
 
-    def __init__(self, levels: list[int], batch: int, params: LDSParams) -> None:
+    def __init__(self, levels, batch: int, params: LDSParams) -> None:
         self.levels = levels
         self.batch = batch
         self.params = params
@@ -177,7 +177,13 @@ class _Snapshot:
 
 
 def _cplds_from_genesis(genesis: dict) -> CPLDS:
-    """Fresh structure matching a journal's genesis record."""
+    """Fresh structure matching a journal's genesis record.
+
+    The genesis ``backend`` field is additive: journals written before the
+    level-store seam lack it and restore onto the object backend.
+    """
+    from repro import engines
+
     n = int(genesis["num_vertices"])
     params = LDSParams(
         n,
@@ -185,7 +191,10 @@ def _cplds_from_genesis(genesis: dict) -> CPLDS:
         lam=float(genesis["lam"]),
         levels_per_group=int(genesis["group_height"]),
     )
-    return CPLDS(n, params=params)
+    return engines.create(
+        "cplds", n, params=params,
+        backend=str(genesis.get("backend", "object")),
+    )
 
 
 def _list_checkpoints(directory: str) -> list[tuple[int, str]]:
@@ -277,11 +286,12 @@ class SupervisedCPLDS:
         The structure to supervise.  Must be quiescent and consistent.
     journal_dir:
         Directory for the write-ahead journal and checkpoints.  ``None``
-        disables persistence: recovery then falls back to
-        :meth:`CPLDS.rebuild` (consistent, but the level history collapses
-        to a single batch — documented best-effort mode).  The directory
-        must not already contain a journal; re-opening an existing one is
-        :meth:`SupervisedCPLDS.open`'s job.
+        disables persistence: recovery then restores the exact pre-batch
+        state captured in memory just before the attempt
+        (:meth:`CPLDS.snapshot_state` / :meth:`CPLDS.restore_state`) — no
+        durability across process death, but in-process faults lose
+        nothing.  The directory must not already contain a journal;
+        re-opening an existing one is :meth:`SupervisedCPLDS.open`'s job.
     checkpoint_every:
         Write a quiescent checkpoint after this many committed batches.
     keep_checkpoints:
@@ -354,6 +364,7 @@ class SupervisedCPLDS:
                 os.path.join(directory, JOURNAL_FILENAME),
                 num_vertices=impl.graph.num_vertices,
                 params=impl.params,
+                backend=impl.backend,
                 sync=sync,
             )
             self.telemetry.journal_records += 1
@@ -510,12 +521,11 @@ class SupervisedCPLDS:
             self._drop_all(ins, dels, outcome)
             return
 
-        membership: dict[Edge, bool] | None = None
+        pre_state = None
         if self._journal is None:
-            # Rebuild-mode recovery needs to know which batch edges existed
-            # before the attempt, to undo a partial application.
-            g = self.impl.graph
-            membership = {e: g.has_edge(*e) for e in (*ins, *dels)}
+            # Persistence-free recovery restores the exact pre-batch state
+            # captured here (cheap array copies on the columnar backend).
+            pre_state = self.impl.snapshot_state()
 
         try:
             seq = self._append_journal(ins, dels)
@@ -529,7 +539,7 @@ class SupervisedCPLDS:
                 self.impl.apply_batch(ins, dels)
             except Exception:
                 self.telemetry.batch_failures += 1
-                if not self._recover(membership):
+                if not self._recover(pre_state):
                     self._drop_all(ins, dels, outcome)
                     return
                 if attempts < self.max_retries:
@@ -615,7 +625,7 @@ class SupervisedCPLDS:
         for e in dels:
             outcome.dropped.append(DroppedUpdate("-", e, error))
 
-    def _recover(self, membership: dict[Edge, bool] | None) -> bool:
+    def _recover(self, pre_state) -> bool:
         """Restore a consistent pre-batch structure; False = now FAILED."""
         self._set_health(HealthState.RECOVERING)
         self.telemetry.recoveries += 1
@@ -624,7 +634,10 @@ class SupervisedCPLDS:
                 assert self._journal_dir is not None
                 impl, _report = restore_from_dir(self._journal_dir)
             else:
-                impl = self._restore_by_rebuild(membership or {})
+                # Persistence-free mode: exact in-place restore of the state
+                # snapshotted just before the failed attempt.
+                impl = self.impl
+                impl.restore_state(pre_state)
         except Exception as exc:
             self._fail(exc)
             return False
@@ -636,20 +649,6 @@ class SupervisedCPLDS:
         self._snapshot = self._take_snapshot()
         self._committed_since_snapshot = 0
         return True
-
-    def _restore_by_rebuild(self, membership: dict[Edge, bool]) -> CPLDS:
-        """Persistence-free recovery: undo the failed batch's surviving
-        graph mutations, then rebuild levels from the edge set."""
-        impl = self.impl
-        g = impl.graph
-        stray = [e for e, was in membership.items() if not was and g.has_edge(*e)]
-        missing = [e for e, was in membership.items() if was and not g.has_edge(*e)]
-        if stray:
-            g.delete_batch(stray)
-        if missing:
-            g.insert_batch(missing)
-        impl.rebuild()
-        return impl
 
     def _fail(self, cause: BaseException) -> None:
         self.failure_cause = cause
@@ -668,7 +667,7 @@ class SupervisedCPLDS:
     def _take_snapshot(self) -> _Snapshot:
         impl = self.impl
         return _Snapshot(
-            list(impl.plds.state.level), impl.batch_number, impl.params
+            impl.plds.state.snapshot_levels(), impl.batch_number, impl.params
         )
 
     def _write_checkpoint(self) -> None:

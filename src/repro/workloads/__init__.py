@@ -16,8 +16,11 @@ from repro.workloads.mixes import (
     preprocess_mixed_batch,
 )
 from repro.workloads.reads import UniformReadGenerator, ZipfReadGenerator
+from repro.workloads.runner import ReplayResult, replay_stream
 
 __all__ = [
+    "ReplayResult",
+    "replay_stream",
     "adversarial",
     "Batch",
     "BatchStream",

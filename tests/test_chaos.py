@@ -26,10 +26,29 @@ class TestSmoke:
         # checkpoint durability hole; it stays pinned as a regression.
         assert_converged(run_chaos(seed, tmp_path))
 
+    @pytest.mark.parametrize("seed", [0, 27])
+    def test_seed_converges_columnar(self, seed, tmp_path):
+        assert_converged(run_chaos(seed, tmp_path, backend="columnar"))
+
     def test_deterministic_in_seed(self, tmp_path):
         a = run_chaos(3, tmp_path / "a")
         b = run_chaos(3, tmp_path / "b")
         assert a == b
+
+    def test_schedule_backend_blind(self, tmp_path):
+        """The fault schedule must be identical across backends: the rng
+        stream never sees the backend choice, so everything except the
+        backend tag matches field for field."""
+        a = run_chaos(3, tmp_path / "a")
+        b = run_chaos(3, tmp_path / "b", backend="columnar")
+        assert a.backend == "object" and b.backend == "columnar"
+        for field in (
+            "num_vertices", "batches_submitted", "crashes_armed",
+            "poison_edges", "restarts", "truncated_bytes",
+            "checkpoints_corrupted", "quarantined", "recoveries",
+            "final_health", "mismatches", "converged",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
 
     def test_schedule_actually_injects_faults(self, tmp_path):
         r = run_chaos(0, tmp_path)
@@ -39,12 +58,13 @@ class TestSmoke:
 
 
 @pytest.mark.chaos
+@pytest.mark.parametrize("backend", ["object", "columnar"])
 class TestAcceptanceSweep:
     """The robustness acceptance criterion: >= 50 seeded fault schedules
     (mid-batch crashes, journal truncation, checkpoint corruption, poison
     batches, process restarts) all recover without operator intervention
-    and match the oracle exactly."""
+    and match the oracle exactly — on both level-store backends."""
 
     @pytest.mark.parametrize("seed", range(50))
-    def test_seed_converges(self, seed, tmp_path):
-        assert_converged(run_chaos(seed, tmp_path))
+    def test_seed_converges(self, seed, backend, tmp_path):
+        assert_converged(run_chaos(seed, tmp_path, backend=backend))

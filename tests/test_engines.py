@@ -1,0 +1,269 @@
+"""The engine registry and the backend differential property.
+
+The differential test is the refactor's correctness anchor: the same update
+schedule driven through the same engine on the ``object`` and ``columnar``
+level stores must produce identical levels, identical coreness estimates,
+identical invariant verdicts — through plain batches, snapshot/restore
+round-trips, and supervised crash/recover cycles alike.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import engines
+from repro.core import CPLDS
+from repro.engines import CoreEngine
+from repro.lds.params import LDSParams
+from repro.lds.store import BACKENDS
+from repro.persist import _checkpoint_checksum, load_cplds, save_cplds
+from repro.runtime.chaos import ChaosHooks
+from repro.runtime.inject import HookChain
+from repro.runtime.supervisor import SupervisedCPLDS
+
+
+def mixed_schedule(seed, n, num_batches):
+    """Deterministic mixed insert/delete schedule over ``n`` vertices."""
+    rng = random.Random(seed)
+    live = set()
+    batches = []
+    for _ in range(num_batches):
+        ins = []
+        for _ in range(rng.randint(1, 10)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e not in live and e not in ins:
+                ins.append(e)
+        dels = rng.sample(sorted(live), min(len(live), rng.randint(0, 3)))
+        live.update(ins)
+        live.difference_update(dels)
+        batches.append((ins, dels))
+    return batches
+
+
+class TestRegistry:
+    def test_available_engines(self):
+        names = engines.available()
+        assert names == tuple(sorted(names))
+        for name in ("cplds", "lds", "plds", "nonsync", "syncreads", "naive"):
+            assert name in names
+
+    def test_backends_listing(self):
+        assert engines.backends() == BACKENDS
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="cplds"):
+            engines.create("no-such-engine", 8)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            engines.create("cplds", 8, backend="no-such-backend")
+
+    def test_lds_rejects_executor(self):
+        class FakeExecutor:
+            pass
+
+        with pytest.raises(ValueError):
+            engines.create("lds", 8, executor=FakeExecutor())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            engines.register("cplds", lambda *a, **k: None)
+        # replace=True is the explicit override (restore the original after).
+        original = engines._FACTORIES["cplds"]
+        try:
+            engines.register("cplds", original, replace=True)
+        finally:
+            engines._FACTORIES["cplds"] = original
+
+    @pytest.mark.parametrize("name", ["cplds", "plds", "lds", "nonsync",
+                                      "syncreads", "naive"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_engine_satisfies_core_engine(self, name, backend):
+        impl = engines.create(name, 10, backend=backend)
+        assert isinstance(impl, CoreEngine)
+        assert impl.backend == backend
+        impl.insert_batch([(0, 1), (1, 2)])
+        assert impl.read(1) >= 1.0
+        assert len(impl.levels()) == 10
+        impl.delete_batch([(0, 1)])
+
+    def test_params_threaded_through(self):
+        params = LDSParams(12, levels_per_group=4)
+        impl = engines.create("cplds", 12, params=params, backend="columnar")
+        assert impl.params is params
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("engine", ["cplds", "plds", "nonsync", "naive"])
+    def test_same_schedule_same_state(self, engine):
+        n = 24
+        impls = {
+            be: engines.create(engine, n, backend=be) for be in BACKENDS
+        }
+        for ins, dels in mixed_schedule(11, n, 25):
+            for impl in impls.values():
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            obj, col = impls["object"], impls["columnar"]
+            assert list(obj.levels()) == list(col.levels())
+            assert [obj.read(v) for v in range(n)] == [
+                col.read(v) for v in range(n)
+            ]
+        for impl in impls.values():
+            impl.check_invariants()
+
+    def test_snapshot_restore_round_trip(self):
+        n = 20
+        for be in BACKENDS:
+            impl = engines.create("cplds", n, backend=be)
+            schedule = mixed_schedule(5, n, 12)
+            for ins, dels in schedule[:6]:
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            snap = impl.snapshot_state()
+            levels_at_snap = list(impl.levels())
+            for ins, dels in schedule[6:]:
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            impl.restore_state(snap)
+            assert list(impl.levels()) == levels_at_snap
+            impl.check_invariants()
+            # The restored structure keeps working.
+            for ins, dels in schedule[6:]:
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            impl.check_invariants()
+
+    def test_restore_diverge_reconverge(self):
+        """Restoring both backends to the same snapshot point and replaying
+        the same suffix must keep them identical."""
+        n = 18
+        schedule = mixed_schedule(7, n, 14)
+        finals = {}
+        for be in BACKENDS:
+            impl = engines.create("cplds", n, backend=be)
+            for ins, dels in schedule[:7]:
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            snap = impl.snapshot_state()
+            impl.insert_batch([(0, 1), (2, 3)])  # divergence to undo
+            impl.restore_state(snap)
+            for ins, dels in schedule[7:]:
+                impl.insert_batch(ins)
+                impl.delete_batch(dels)
+            impl.check_invariants()
+            finals[be] = list(impl.levels())
+        assert finals["object"] == finals["columnar"]
+
+
+class TestSupervisedDifferential:
+    def _run(self, backend, tmp_path, journaled):
+        n = 20
+        hooks = ChaosHooks()
+
+        def attach(impl: CPLDS) -> None:
+            impl.plds.hooks = HookChain(impl.plds.hooks, hooks)
+
+        service = SupervisedCPLDS(
+            engines.create("cplds", n, backend=backend),
+            journal_dir=str(tmp_path / backend) if journaled else None,
+            checkpoint_every=3,
+            max_retries=2,
+            backoff_base=0.0,
+        )
+        attach(service.impl)
+        service.post_restore = attach
+
+        trace = []
+        for i, (ins, dels) in enumerate(mixed_schedule(3, n, 10)):
+            if i in (2, 5):
+                # One crash within the retry budget, one forcing bisection.
+                hooks.arm_crash(after_moves=1, times=1 if i == 2 else 4)
+            outcome = service.apply_batch(ins, dels)
+            hooks.clear()
+            trace.append(
+                (
+                    [(r.insertions, r.deletions) for r in outcome.applied],
+                    len(outcome.dropped),
+                    [service.read(v) for v in range(n)],
+                )
+            )
+        service.impl.check_invariants()
+        levels = list(service.impl.levels())
+        recoveries = service.telemetry.recoveries
+        service.close()
+        return trace, levels, recoveries
+
+    @pytest.mark.parametrize("journaled", [True, False])
+    def test_crash_recover_identical_across_backends(self, tmp_path, journaled):
+        runs = {
+            be: self._run(be, tmp_path, journaled) for be in BACKENDS
+        }
+        assert runs["object"] == runs["columnar"]
+        assert runs["object"][2] > 0, "schedule never exercised recovery"
+
+    def test_reopen_preserves_backend(self, tmp_path):
+        for be in BACKENDS:
+            d = tmp_path / be
+            service = SupervisedCPLDS(
+                engines.create("cplds", 12, backend=be),
+                journal_dir=str(d),
+            )
+            service.apply_batch([(0, 1), (1, 2), (2, 3)], [])
+            levels = list(service.impl.levels())
+            service._journal.close()  # simulated process death
+            service, report = SupervisedCPLDS.open(str(d))
+            assert service.impl.backend == be
+            assert list(service.impl.levels()) == levels
+            assert report.recovered_through == 1
+            service.close()
+
+
+class TestPersistBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_checkpoint_round_trip(self, tmp_path, backend):
+        impl = engines.create("cplds", 16, backend=backend)
+        for ins, dels in mixed_schedule(9, 16, 8):
+            impl.insert_batch(ins)
+            impl.delete_batch(dels)
+        path = tmp_path / "ckpt.npz"
+        save_cplds(impl, path)
+        restored = load_cplds(path)
+        assert restored.backend == backend
+        assert list(restored.levels()) == list(impl.levels())
+        assert restored.batch_number == impl.batch_number
+
+    def test_v2_checkpoint_still_loads(self, tmp_path):
+        """A hand-written version-2 archive (no backend field, v2 checksum)
+        restores onto the object backend."""
+        reference = engines.create("cplds", 8)
+        reference.insert_batch([(0, 1), (1, 2), (2, 3), (0, 2)])
+        edges = np.asarray(
+            list(reference.graph.edges()), dtype=np.int64
+        ).reshape(-1, 2)
+        levels = np.asarray(reference.levels(), dtype=np.int64)
+        p = reference.params
+        checksum = _checkpoint_checksum(
+            8, edges, levels, reference.batch_number,
+            p.delta, p.lam, p.group_height,
+        )
+        path = tmp_path / "v2.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(2),
+            num_vertices=np.int64(8),
+            edges=edges,
+            levels=levels,
+            batch_number=np.int64(reference.batch_number),
+            delta=np.float64(p.delta),
+            lam=np.float64(p.lam),
+            group_height=np.int64(p.group_height),
+            checksum=np.uint32(checksum),
+        )
+        restored = load_cplds(path)
+        assert restored.backend == "object"
+        assert list(restored.levels()) == list(reference.levels())

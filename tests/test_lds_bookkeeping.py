@@ -1,4 +1,10 @@
-"""Unit + property tests for the LevelState counter bookkeeping."""
+"""Unit + property tests for the level-store counter bookkeeping.
+
+Structure-agnostic behaviour (invariants, desire levels, counter
+consistency) is parametrized over both :data:`repro.lds.store.BACKENDS`;
+tests that poke at the object backend's ``down`` dicts directly stay
+object-only.
+"""
 
 import pytest
 from hypothesis import given, settings
@@ -7,16 +13,22 @@ from hypothesis import strategies as st
 from repro.graph import DynamicGraph
 from repro.lds.bookkeeping import LevelState
 from repro.lds.params import LDSParams
+from repro.lds.store import BACKENDS, make_store
 
 
-def make_state(n=6, edges=(), levels_per_group=8):
+def make_state(n=6, edges=(), levels_per_group=8, backend="object"):
     g = DynamicGraph(n)
     params = LDSParams(n, levels_per_group=levels_per_group)
-    st_ = LevelState(g, params)
+    st_ = make_store(backend, g, params)
     for u, v in edges:
         if g.insert_edge(u, v):
             st_.on_edge_inserted(u, v)
     return g, st_
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
 
 
 class TestEdgeBookkeeping:
@@ -103,69 +115,74 @@ class TestSetLevel:
 
 
 class TestInvariantPredicates:
-    def test_invariant1_violated_by_high_up_degree(self):
+    def test_invariant1_violated_by_high_up_degree(self, backend):
         # Group 0 upper bound is 2 + 1/3, so 4 same-level neighbours violate.
-        _, state = make_state(5, [(0, i) for i in range(1, 5)])
+        _, state = make_state(5, [(0, i) for i in range(1, 5)], backend=backend)
         assert not state.satisfies_invariant1(0)
         assert state.satisfies_invariant1(1)
 
-    def test_invariant1_vacuous_at_top_level(self):
-        _, state = make_state(5, [(0, i) for i in range(1, 5)], levels_per_group=1)
+    def test_invariant1_vacuous_at_top_level(self, backend):
+        _, state = make_state(
+            5, [(0, i) for i in range(1, 5)], levels_per_group=1,
+            backend=backend,
+        )
         state.set_level(0, state.params.max_level)
         assert state.satisfies_invariant1(0)
 
-    def test_invariant2_trivial_at_level_zero(self):
-        _, state = make_state(2)
+    def test_invariant2_trivial_at_level_zero(self, backend):
+        _, state = make_state(2, backend=backend)
         assert state.satisfies_invariant2(0)
 
-    def test_invariant2_violated_by_isolated_high_vertex(self):
-        _, state = make_state(2)
+    def test_invariant2_violated_by_isolated_high_vertex(self, backend):
+        _, state = make_state(2, backend=backend)
         state.set_level(0, 3)
         assert not state.satisfies_invariant2(0)
 
-    def test_invariant2_satisfied_with_support_below(self):
-        _, state = make_state(3, [(0, 1), (0, 2)])
+    def test_invariant2_satisfied_with_support_below(self, backend):
+        _, state = make_state(3, [(0, 1), (0, 2)], backend=backend)
         state.set_level(0, 1)
         # Neighbours at level 0 >= level 0 = ℓ−1: count 2 >= (1.2)^0 = 1.
         assert state.satisfies_invariant2(0)
 
 
 class TestDesireLevel:
-    def test_desire_level_zero_vertex(self):
-        _, state = make_state(2)
+    def test_desire_level_zero_vertex(self, backend):
+        _, state = make_state(2, backend=backend)
         assert state.desire_level(0) == 0
 
-    def test_satisfied_vertex_desires_current_level(self):
-        _, state = make_state(3, [(0, 1), (0, 2)])
+    def test_satisfied_vertex_desires_current_level(self, backend):
+        _, state = make_state(3, [(0, 1), (0, 2)], backend=backend)
         state.set_level(0, 1)
         assert state.desire_level(0) == 1
 
-    def test_unsupported_vertex_desires_zero(self):
-        _, state = make_state(2)
+    def test_unsupported_vertex_desires_zero(self, backend):
+        _, state = make_state(2, backend=backend)
         state.set_level(0, 6)
         assert state.desire_level(0) == 0
 
-    def test_desire_level_lands_just_above_support(self):
+    def test_desire_level_lands_just_above_support(self, backend):
         # Vertex 0 high up with one neighbour at level 3: the highest level d
         # with >= 1 neighbour at level >= d-1 is d = 4.
-        _, state = make_state(3, [(0, 1)])
+        _, state = make_state(3, [(0, 1)], backend=backend)
         state.set_level(1, 3)
         state.set_level(0, 7)
         assert state.desire_level(0) == 4
 
-    def test_desire_level_respects_group_thresholds(self):
+    def test_desire_level_respects_group_thresholds(self, backend):
         # With levels_per_group=2, Invariant 2 at level 3 needs
         # (1.2)^{group(2)} = 1.2 neighbours, i.e. at least 2.
-        _, state = make_state(4, [(0, 1), (0, 2)], levels_per_group=2)
+        _, state = make_state(
+            4, [(0, 1), (0, 2)], levels_per_group=2, backend=backend
+        )
         state.set_level(1, 2)
         state.set_level(2, 2)
         state.set_level(0, 7)
         # At d=3: neighbours >= 2 is 2 >= 1.2 -> satisfied.
         assert state.desire_level(0) == 3
 
-    def test_desire_is_downward_closed_witness(self):
+    def test_desire_is_downward_closed_witness(self, backend):
         # The returned level must satisfy Invariant 2 while level+1 must not.
-        _, state = make_state(5, [(0, 1), (0, 2), (0, 3)])
+        _, state = make_state(5, [(0, 1), (0, 2), (0, 3)], backend=backend)
         state.set_level(1, 2)
         state.set_level(2, 4)
         state.set_level(0, 9)
@@ -175,6 +192,80 @@ class TestDesireLevel:
         if d + 1 < state.params.num_levels:
             state.set_level(0, d + 1)
             assert not state.satisfies_invariant2(0)
+
+
+def _brute_force_desire(state, v):
+    """The definition, spelled out: the highest feasible d <= level(v)."""
+    lvl = int(state.level[v])
+    best = 0
+    for d in range(1, lvl + 1):
+        cnt = sum(
+            1
+            for w in state.graph.neighbors_unsafe(v)
+            if int(state.level[w]) >= d - 1
+        )
+        if cnt >= state.params.lower_threshold(d):
+            best = d
+    return best
+
+
+class TestDesireLevelBreakpoints:
+    """Edge cases around the suffix-count breakpoints of desire_level."""
+
+    def test_support_exactly_at_group_boundary(self, backend):
+        # levels_per_group=2: the lower threshold jumps at every even level.
+        # Put the single supporting neighbour exactly at a group boundary
+        # (level 2 = start of group 1) and the mover far above it.
+        _, state = make_state(3, [(0, 1)], levels_per_group=2, backend=backend)
+        state.set_level(1, 2)
+        state.set_level(0, 7)
+        d = state.desire_level(0)
+        assert d == _brute_force_desire(state, 0)
+        # threshold(2) = 1 is met by the level-2 neighbour, but the jump to
+        # threshold(3) = 1.2 at the group boundary rules out d = 3.
+        assert d == 2
+
+    def test_down_entry_at_level_below_only(self, backend):
+        # All support sits exactly at ℓ−1 (the only down level that counts
+        # for Invariant 2): desire must keep the vertex at ℓ.
+        _, state = make_state(4, [(0, 1), (0, 2), (0, 3)], backend=backend)
+        for w in (1, 2, 3):
+            state.set_level(w, 2)
+        state.set_level(0, 3)
+        assert state.satisfies_invariant2(0)
+        assert state.desire_level(0) == 3
+        assert state.desire_level(0) == _brute_force_desire(state, 0)
+
+    def test_vertex_at_top_level(self, backend):
+        # A well-supported vertex at max_level: desire is capped at ℓ and
+        # the suffix scan must not run past the level array.
+        n = 8
+        _, state = make_state(
+            n, [(0, i) for i in range(1, n)], levels_per_group=1,
+            backend=backend,
+        )
+        top = state.params.max_level
+        for w in range(1, n):
+            state.set_level(w, top)
+        state.set_level(0, top)
+        d = state.desire_level(0)
+        assert 0 <= d <= top
+        assert d == _brute_force_desire(state, 0)
+
+    def test_backends_agree_on_breakpoint_scripts(self):
+        # The same script must yield identical desire levels on both
+        # backends — the differential check at its sharpest point.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (0, 4)]
+        moves = [(1, 2), (2, 2), (3, 1), (4, 3), (0, 7), (2, 5), (1, 0)]
+        states = {}
+        for be in BACKENDS:
+            _, state = make_state(6, edges, levels_per_group=2, backend=be)
+            for v, lvl in moves:
+                state.set_level(v, min(lvl, state.params.max_level))
+            states[be] = state
+        for v in range(6):
+            desires = {be: s.desire_level(v) for be, s in states.items()}
+            assert len(set(desires.values())) == 1, (v, desires)
 
 
 @st.composite
@@ -200,33 +291,52 @@ class TestProperties:
     @given(level_scripts())
     def test_counters_consistent_after_arbitrary_moves(self, script):
         n, edges, moves = script
-        _, state = make_state(n, edges, levels_per_group=4)
-        for v, lvl in moves:
-            state.set_level(v, min(lvl, state.params.max_level))
-        state.assert_counters_consistent()
+        for be in BACKENDS:
+            _, state = make_state(n, edges, levels_per_group=4, backend=be)
+            for v, lvl in moves:
+                state.set_level(v, min(lvl, state.params.max_level))
+            state.assert_counters_consistent()
 
     @settings(max_examples=50, deadline=None)
     @given(level_scripts())
     def test_desire_level_is_max_feasible(self, script):
         n, edges, moves = script
-        _, state = make_state(n, edges, levels_per_group=4)
-        for v, lvl in moves:
-            state.set_level(v, min(lvl, state.params.max_level))
-        for v in range(n):
-            lvl = state.level[v]
-            d = state.desire_level(v)
-            assert 0 <= d <= lvl
-            # Brute-force the definition.
-            def feasible(dd):
-                if dd == 0:
-                    return True
-                cnt = sum(
-                    1
-                    for w in state.graph.neighbors_unsafe(v)
-                    if state.level[w] >= dd - 1
-                )
-                return cnt >= state.params.lower_threshold(dd)
+        for be in BACKENDS:
+            _, state = make_state(n, edges, levels_per_group=4, backend=be)
+            for v, lvl in moves:
+                state.set_level(v, min(lvl, state.params.max_level))
+            for v in range(n):
+                lvl = int(state.level[v])
+                d = state.desire_level(v)
+                assert 0 <= d <= lvl
+                # Brute-force the definition.
+                def feasible(dd):
+                    if dd == 0:
+                        return True
+                    cnt = sum(
+                        1
+                        for w in state.graph.neighbors_unsafe(v)
+                        if int(state.level[w]) >= dd - 1
+                    )
+                    return cnt >= state.params.lower_threshold(dd)
 
-            assert feasible(d)
-            for dd in range(d + 1, lvl + 1):
-                assert not feasible(dd)
+                assert feasible(d)
+                for dd in range(d + 1, lvl + 1):
+                    assert not feasible(dd)
+
+    @settings(max_examples=50, deadline=None)
+    @given(level_scripts())
+    def test_backends_agree_on_random_scripts(self, script):
+        n, edges, moves = script
+        results = {}
+        for be in BACKENDS:
+            _, state = make_state(n, edges, levels_per_group=4, backend=be)
+            for v, lvl in moves:
+                state.set_level(v, min(lvl, state.params.max_level))
+            results[be] = (
+                [int(x) for x in state.levels_snapshot()],
+                [state.desire_level(v) for v in range(n)],
+                [state.satisfies_invariant1(v) for v in range(n)],
+                [state.satisfies_invariant2(v) for v in range(n)],
+            )
+        assert results["object"] == results["columnar"]

@@ -41,7 +41,7 @@ class TestExperimentConfig:
         assert E.QUICK.trials != 7  # frozen original untouched
 
     def test_make_impl_unknown_kind(self):
-        with pytest.raises(ValueError, match="impl kind"):
+        with pytest.raises(ValueError, match="unknown engine"):
             E.make_impl("quantum", 4, E.QUICK)
 
     def test_full_config_covers_all_datasets(self):
