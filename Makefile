@@ -5,13 +5,21 @@ PYTHON ?= python
 # Every target runs against the in-tree sources, no install required.
 export PYTHONPATH = src
 
-.PHONY: install test chaos bench bench-full bench-json reproduce reproduce-full examples clean
+.PHONY: install test lint chaos bench bench-full bench-json bench-baseline bench-gate reproduce reproduce-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Mirrors the CI lint job; ruff/mypy are skipped with a notice when absent.
+lint:
+	$(PYTHON) -m compileall -q src
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks examples; \
+	else echo "ruff not installed; skipped (CI runs it)"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/obs src/repro/engines; \
+	else echo "mypy not installed; skipped (CI runs it)"; fi
 
 chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py -m chaos -q
@@ -26,6 +34,15 @@ bench-full:
 
 bench-json:
 	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr4.json
+
+# Refresh the checked-in bench-gate baseline (commit the result).
+bench-baseline:
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr4.json
+
+# What CI's bench-gate job runs: fresh candidate vs checked-in baseline.
+bench-gate:
+	$(PYTHON) -m repro.harness.bench_json -o /tmp/bench_candidate.json
+	$(PYTHON) -m repro.harness.bench_gate --baseline BENCH_pr4.json --candidate /tmp/bench_candidate.json
 
 reproduce:
 	$(PYTHON) -m repro.harness.run_all

@@ -35,8 +35,19 @@ from repro.core.marking import DescriptorTable
 from repro.errors import ReproError
 from repro.lds.params import LDSParams
 from repro.lds.plds import PLDS, Phase, UpdateHooks
+from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
 from repro.runtime.executor import Executor
 from repro.types import Edge, Vertex
+
+# Cached metric handles (see docs/observability.md).  The success path of
+# :meth:`CPLDS.read` is deliberately *not* instrumented — only the retry
+# branch reports, so an uncontended read costs exactly what it did before.
+_MARKED = _OBS.counter("cplds_marked_total")
+_DAGS = _OBS.counter("cplds_dags_total")
+_BATCHES = _OBS.counter("cplds_batches_total")
+_READ_RETRIES = _OBS.counter("cplds_read_retries_total")
+_READS_VERBOSE = _OBS.counter("cplds_reads_verbose_total")
+_RETRY_HIST = _OBS.histogram("cplds_read_retries_per_read", COUNT_BUCKETS)
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,10 @@ class _MarkingHooks(UpdateHooks):
         cp.last_batch_dag_map = {
             v: root for root, members in dags.items() for v in members
         }
+        if _OBS.enabled:
+            _BATCHES.inc()
+            _MARKED.inc(cp.last_batch_marked)
+            _DAGS.inc(cp.last_batch_dags)
         cp.descriptors.unmark_all(cp.plds.executor.run_round)
         cp._batch_partners = {}
 
@@ -186,29 +201,55 @@ class CPLDS:
     # ------------------------------------------------------------------
     def insert_batch(self, edges: Iterable[Edge]) -> int:
         """Apply an insertion batch; returns the number of new edges."""
-        try:
-            return self.plds.batch_insert(edges)
-        except BaseException:
-            self._wounded = True
-            raise
+        with _OBS.span("cplds.insert_batch") as sp:
+            try:
+                applied = self.plds.batch_insert(edges)
+            except BaseException:
+                self._wounded = True
+                raise
+            sp.set(
+                edges=applied,
+                moves=self.plds.last_batch_moves,
+                rounds=self.plds.last_batch_rounds,
+                marked=self.last_batch_marked,
+                dags=self.last_batch_dags,
+            )
+            return applied
 
     def delete_batch(self, edges: Iterable[Edge]) -> int:
         """Apply a deletion batch; returns the number of removed edges."""
-        try:
-            return self.plds.batch_delete(edges)
-        except BaseException:
-            self._wounded = True
-            raise
+        with _OBS.span("cplds.delete_batch") as sp:
+            try:
+                applied = self.plds.batch_delete(edges)
+            except BaseException:
+                self._wounded = True
+                raise
+            sp.set(
+                edges=applied,
+                moves=self.plds.last_batch_moves,
+                rounds=self.plds.last_batch_rounds,
+                marked=self.last_batch_marked,
+                dags=self.last_batch_dags,
+            )
+            return applied
 
     def apply_batch(
         self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
     ) -> tuple[int, int]:
         """Mixed batch, pre-processed into insertion + deletion sub-batches."""
-        try:
-            return self.plds.apply_batch(insertions, deletions)
-        except BaseException:
-            self._wounded = True
-            raise
+        with _OBS.span("cplds.apply_batch") as sp:
+            try:
+                counts = self.plds.apply_batch(insertions, deletions)
+            except BaseException:
+                self._wounded = True
+                raise
+            sp.set(
+                insertions=counts[0],
+                deletions=counts[1],
+                moves=self.plds.last_batch_moves,
+                rounds=self.plds.last_batch_rounds,
+            )
+            return counts
 
     # ------------------------------------------------------------------
     # Reads (read processes — lock-free, callable from any thread)
@@ -238,6 +279,8 @@ class CPLDS:
                 if l1 == l2:
                     return estimates[l1]
             retries += 1
+            if _OBS.enabled:
+                _READ_RETRIES.inc()
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
@@ -259,7 +302,8 @@ class CPLDS:
         slots = self.descriptors.slots
         params = self.params
         retries = 0
-        while True:
+        result: ReadResult | None = None
+        while result is None:
             b1 = self.batch_number
             l1 = level[v]
             desc = slots[v]
@@ -269,27 +313,35 @@ class CPLDS:
             if b1 == b2:
                 if marked:
                     old = desc.old_level  # type: ignore[union-attr]
-                    return ReadResult(
+                    result = ReadResult(
                         estimate=params.coreness_estimate(old),
                         level=old,
                         from_descriptor=True,
                         retries=retries,
                         batch=b1,
                     )
+                    break
                 if l1 == l2:
-                    return ReadResult(
+                    result = ReadResult(
                         estimate=params.coreness_estimate(l1),
                         level=l1,
                         from_descriptor=False,
                         retries=retries,
                         batch=b1,
                     )
+                    break
             retries += 1
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
                     "the update stream is outpacing the reader"
                 )
+        if _OBS.enabled:
+            _READS_VERBOSE.inc()
+            if retries:
+                _READ_RETRIES.inc(retries)
+                _RETRY_HIST.observe(retries)
+        return result
 
     # ------------------------------------------------------------------
     # Marking support

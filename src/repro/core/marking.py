@@ -27,11 +27,19 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.descriptor import Descriptor, I_AM_ROOT, UNMARKED
+from repro.obs import REGISTRY as _OBS
 from repro.unionfind.atomics import stripe_lock_for
 
 #: check_DAG results (kept as module constants to mirror the pseudocode).
 MARKED = True
 NOT_MARKED = False
+
+# Cached metric handles.  Only the *update-side* operations report —
+# ``check_dag`` sits on the read hot path and stays uninstrumented (read
+# retries are counted in :mod:`repro.core.cplds` instead).
+_MARKS = _OBS.counter("marking_marks_total")
+_MERGES = _OBS.counter("marking_dag_merges_total")
+_COMPRESSIONS = _OBS.counter("marking_path_compressions_total")
 
 
 def _cas_parent(desc: Descriptor, expected: int, new: int) -> bool:
@@ -85,6 +93,8 @@ class DescriptorTable:
             desc.parent = sole.vertex
         self.slots[v] = desc
         self.marked_vertices.append(v)
+        if _OBS.enabled:
+            _MARKS.inc()
         return desc
 
     def add_dependencies(self, v: int, related: Sequence[int]) -> None:
@@ -124,6 +134,8 @@ class DescriptorTable:
             for rid in ordered[1:]:
                 if not _cas_parent(roots[rid], I_AM_ROOT, winner.vertex):
                     contended = True  # concurrent link; re-find everything
+                elif _OBS.enabled:
+                    _MERGES.inc()
             if not contended:
                 # `winner` may itself have been linked concurrently since,
                 # but any member of the merged DAG is a valid attachment
@@ -150,9 +162,13 @@ class DescriptorTable:
                 )
             desc = nxt
         root = desc
+        compressed = 0
         for node in trail:
             if node.parent != root.vertex and node is not root:
-                _cas_parent(node, node.parent, root.vertex)
+                if _cas_parent(node, node.parent, root.vertex):
+                    compressed += 1
+        if compressed and _OBS.enabled:
+            _COMPRESSIONS.inc(compressed)
         return root
 
     # ------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""CI perf-regression gate over ``BENCH_*.json`` documents.
+
+Compares a freshly generated benchmark document (the *candidate*) against
+the checked-in baseline and decides pass/fail:
+
+* **Deterministic work counters** (``metrics.<backend>.work`` — see
+  :data:`repro.harness.bench_json.WORK_COUNTERS`) are compared **exactly**.
+  A candidate counter *above* the baseline means the algorithm now does
+  more work for the same seeded stream — that is a real regression and the
+  gate **fails**.  A counter *below* baseline is an improvement; the gate
+  only warns that the baseline should be refreshed.
+* **Wall-clock medians** (Fig 5 batch time, Fig 3 read latency) are
+  machine-dependent, so they are **warn-only**: a deviation beyond
+  ``--tolerance`` (default ±25%) prints a warning and never fails the
+  gate.
+
+Intentional work-counter changes (an algorithmic improvement that legally
+shifts rounds/moves) are landed by regenerating the baseline in the same
+PR — ``make bench-baseline`` — or, in CI, by applying the
+``bench-baseline-reset`` override label, which runs this gate with
+``--warn-only`` (see ``docs/observability.md``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.harness.bench_json -o /tmp/candidate.json
+    PYTHONPATH=src python -m repro.harness.bench_gate \
+        --baseline BENCH_pr4.json --candidate /tmp/candidate.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.harness.bench_json import WORK_COUNTERS
+
+#: Wall-clock medians compared (warn-only), as (label, path-in-document).
+_WALL_CLOCK_FIELDS = (
+    ("fig5_batch_time_s", ("fig5", "cplds_median_batch_time_s")),
+    ("fig3_read_latency_s", ("fig3", "cplds_median_read_latency_s")),
+)
+
+
+@dataclass
+class GateResult:
+    """Outcome of one baseline/candidate comparison."""
+
+    failures: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing hard-failed (warnings are allowed)."""
+        return not self.failures
+
+
+def _backend_work(doc: dict, backend: str) -> dict | None:
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    entry = metrics.get(backend)
+    if not isinstance(entry, dict):
+        return None
+    work = entry.get("work")
+    return work if isinstance(work, dict) else None
+
+
+def _wall_clock(doc: dict, backend: str, path: tuple[str, str]) -> float | None:
+    node = doc.get("backends", {}).get(backend, {})
+    for part in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node if isinstance(node, (int, float)) else None
+
+
+def compare(
+    baseline: dict, candidate: dict, *, tolerance: float = 0.25
+) -> GateResult:
+    """Gate ``candidate`` against ``baseline``; see the module docstring."""
+    result = GateResult()
+    backends = sorted(
+        set(baseline.get("backends", {})) | set(candidate.get("backends", {}))
+    )
+    if not backends:
+        result.failures.append("no backends found in either document")
+        return result
+
+    for backend in backends:
+        base_work = _backend_work(baseline, backend)
+        cand_work = _backend_work(candidate, backend)
+        if base_work is None:
+            result.failures.append(
+                f"[{backend}] baseline has no metrics.work section — "
+                "regenerate it with `make bench-baseline`"
+            )
+            continue
+        if cand_work is None:
+            result.failures.append(
+                f"[{backend}] candidate has no metrics.work section"
+            )
+            continue
+        for name in WORK_COUNTERS:
+            base = base_work.get(name)
+            cand = cand_work.get(name)
+            if base is None or cand is None:
+                result.failures.append(
+                    f"[{backend}] work counter {name} missing "
+                    f"(baseline={base!r}, candidate={cand!r})"
+                )
+                continue
+            if cand > base:
+                result.failures.append(
+                    f"[{backend}] {name} regressed: {base} -> {cand} "
+                    f"(+{cand - base})"
+                )
+            elif cand < base:
+                result.warnings.append(
+                    f"[{backend}] {name} improved: {base} -> {cand} "
+                    "(refresh the baseline to lock this in)"
+                )
+
+        for label, path in _WALL_CLOCK_FIELDS:
+            base_t = _wall_clock(baseline, backend, path)
+            cand_t = _wall_clock(candidate, backend, path)
+            if not base_t or cand_t is None:
+                continue
+            ratio = cand_t / base_t
+            if abs(ratio - 1.0) > tolerance:
+                result.warnings.append(
+                    f"[{backend}] {label} off baseline by "
+                    f"{(ratio - 1.0) * 100:+.1f}% "
+                    f"({base_t:.6g}s -> {cand_t:.6g}s; warn-only)"
+                )
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; exit 0 = pass, 1 = work-counter regression."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json to gate against")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="wall-clock warn threshold (fraction, default 0.25)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report failures but exit 0 (override-label mode)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+
+    result = compare(baseline, candidate, tolerance=args.tolerance)
+    for w in result.warnings:
+        print(f"WARN  {w}")
+    for f in result.failures:
+        print(f"FAIL  {f}")
+    if result.ok:
+        print("bench-gate: PASS (deterministic work counters match)")
+        return 0
+    if args.warn_only:
+        print("bench-gate: FAIL overridden by --warn-only")
+        return 0
+    print(
+        "bench-gate: FAIL — work counters regressed; if intentional, "
+        "regenerate the baseline (make bench-baseline) or apply the "
+        "'bench-baseline-reset' label"
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -10,6 +10,15 @@ backend refactor is judged on:
 * ``fig3_latency_ratio`` — columnar median read latency / object median
   (≈ 1 means no read-side regression).
 
+The document also embeds a ``metrics`` section captured from the
+observability registry (:mod:`repro.obs`): per backend, the deterministic
+**work counters** (:data:`WORK_COUNTERS` — rebalancing rounds, total moves,
+marked vertices, DAG counts) measured over the seeded Fig 3 + Fig 5 runs,
+plus a full registry snapshot for inspection.  The work counters are
+machine-independent, which is what lets CI compare them exactly
+(:mod:`repro.harness.bench_gate`); wall-clock numbers are only ever
+warned about.
+
 Usage::
 
     PYTHONPATH=src python -m repro.harness.bench_json -o BENCH_pr4.json
@@ -21,8 +30,20 @@ import json
 import statistics
 from typing import Sequence
 
+from repro import obs
 from repro.harness import experiments as E
 from repro.lds.store import BACKENDS
+
+#: Deterministic work counters compared exactly by the CI bench-gate.
+#: Everything here is a pure function of the (seeded) update stream — no
+#: wall-clock, thread-timing or allocator influence.
+WORK_COUNTERS = (
+    "plds_moves_total",
+    "plds_rounds_total",
+    "cplds_batches_total",
+    "cplds_marked_total",
+    "cplds_dags_total",
+)
 
 
 def _median(values: Sequence[float]) -> float:
@@ -84,16 +105,43 @@ def _fig7_summary(config: E.ExperimentConfig) -> dict:
     }
 
 
+def _work_counters() -> dict[str, int | float]:
+    """The deterministic work counters, in catalog order (absent → 0)."""
+    return {
+        name: obs.REGISTRY.counter_value(name) for name in WORK_COUNTERS
+    }
+
+
 def collect(config: E.ExperimentConfig) -> dict:
-    """Run Figs 3/5/7 for every backend and assemble the summary document."""
+    """Run Figs 3/5/7 for every backend and assemble the summary document.
+
+    Observability is force-enabled for the duration (and restored after),
+    with a registry reset per backend so each ``metrics`` entry covers
+    exactly that backend's runs.
+    """
     per_backend: dict[str, dict] = {}
-    for backend in BACKENDS:
-        cfg = config.with_(backend=backend)
-        per_backend[backend] = {
-            "fig3": _fig3_summary(cfg),
-            "fig5": _fig5_summary(cfg),
-            "fig7": _fig7_summary(cfg),
-        }
+    metrics: dict[str, dict] = {}
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        for backend in BACKENDS:
+            cfg = config.with_(backend=backend)
+            obs.reset()
+            fig3 = _fig3_summary(cfg)
+            fig5 = _fig5_summary(cfg)
+            # Captured before Fig 7: its throughput loops are time-driven,
+            # so their work is not a pure function of the stream.
+            work = _work_counters()
+            fig7 = _fig7_summary(cfg)
+            per_backend[backend] = {"fig3": fig3, "fig5": fig5, "fig7": fig7}
+            metrics[backend] = {
+                "work": work,
+                "snapshot": obs.snapshot(),
+            }
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
     obj = per_backend["object"]
     col = per_backend["columnar"]
     return {
@@ -103,6 +151,7 @@ def collect(config: E.ExperimentConfig) -> dict:
             "trials": config.trials,
         },
         "backends": per_backend,
+        "metrics": metrics,
         "fig5_update_speedup": (
             obj["fig5"]["cplds_median_batch_time_s"]
             / col["fig5"]["cplds_median_batch_time_s"]

@@ -6,6 +6,12 @@ structure's own.  The series answers the operational questions the
 experiment drivers aggregate away: *which* batch was slow, did cascade depth
 spike, how bursty is marking.
 
+Both collectors here are **thin views over the observability registry**
+(:mod:`repro.obs`): they keep their own structured records/fields (the
+stable API), and when the registry is enabled every increment is mirrored
+into process-wide metrics (``telemetry_batch_seconds``,
+``service_<counter>_total``, ...) so one snapshot covers the whole stack.
+
 Example
 -------
 >>> from repro.core import CPLDS
@@ -26,8 +32,18 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.lds.plds import Phase, UpdateHooks
+from repro.obs import REGISTRY as _OBS, TIME_BUCKETS
 from repro.runtime.inject import HookChain
 from repro.types import Edge
+
+_BATCH_SECONDS = {
+    "insert": _OBS.histogram(
+        "telemetry_batch_seconds", TIME_BUCKETS, {"kind": "insert"}
+    ),
+    "delete": _OBS.histogram(
+        "telemetry_batch_seconds", TIME_BUCKETS, {"kind": "delete"}
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,7 @@ class TelemetryCollector(UpdateHooks):
     def batch_end(self) -> None:
         impl = self.impl
         plds = impl.plds
+        duration = time.perf_counter() - self._started
         self.records.append(
             BatchTelemetry(
                 index=len(self.records) + 1,
@@ -83,9 +100,13 @@ class TelemetryCollector(UpdateHooks):
                 rounds=plds.last_batch_rounds,
                 marked=getattr(impl, "last_batch_marked", 0),
                 dags=getattr(impl, "last_batch_dags", 0),
-                duration=time.perf_counter() - self._started,
+                duration=duration,
             )
         )
+        if _OBS.enabled:
+            hist = _BATCH_SECONDS.get(self._kind)
+            if hist is not None:
+                hist.observe(duration)
 
     # -- reporting --------------------------------------------------------
     def render(self, *, last: int | None = None) -> str:
@@ -121,6 +142,27 @@ class TelemetryCollector(UpdateHooks):
         return max(self.records, key=lambda r: r.duration, default=None)
 
 
+#: ServiceTelemetry counter fields mirrored into the registry as
+#: ``service_<name>_total``.
+_SERVICE_COUNTER_FIELDS = (
+    "batches_applied",
+    "batch_failures",
+    "retries",
+    "recoveries",
+    "bisections",
+    "poison_updates",
+    "checkpoints_written",
+    "checkpoints_rejected",
+    "journal_records",
+    "stale_reads",
+)
+
+_SERVICE_COUNTERS = {
+    name: _OBS.counter(f"service_{name}_total") for name in _SERVICE_COUNTER_FIELDS
+}
+_SERVICE_FIELD_SET = frozenset(_SERVICE_COUNTER_FIELDS)
+
+
 @dataclass
 class ServiceTelemetry:
     """Operational counters for the supervised service layer.
@@ -130,6 +172,12 @@ class ServiceTelemetry:
     recoveries/retries/quarantines has it absorbed, how stale are degraded
     reads), and ``transitions`` is the audit log of the health state machine
     (pairs of state names, oldest first).
+
+    A thin view over the registry: while observability is enabled, every
+    positive counter delta is mirrored process-wide as
+    ``service_<name>_total`` and each health transition increments
+    ``service_health_transitions_total{from=...,to=...}``.  The dataclass
+    fields remain the source of truth for this instance.
     """
 
     batches_applied: int = 0
@@ -145,9 +193,24 @@ class ServiceTelemetry:
     #: Health state machine audit log: (from-state, to-state) names.
     transitions: list[tuple[str, str]] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value) -> None:
+        # Mirror positive deltas of the counter fields into the registry
+        # (the dataclass __init__ also lands here; the default 0 is a
+        # zero-delta no-op, explicit non-zero starts are mirrored as-is).
+        if _OBS.enabled and name in _SERVICE_FIELD_SET:
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                _SERVICE_COUNTERS[name].inc(delta)
+        object.__setattr__(self, name, value)
+
     def record_transition(self, old: str, new: str) -> None:
         """Append one health transition to the audit log."""
         self.transitions.append((old, new))
+        if _OBS.enabled:
+            _OBS.inc(
+                "service_health_transitions_total",
+                labels={"from": old, "to": new},
+            )
 
     def as_dict(self) -> dict[str, int]:
         """Plain counter snapshot (transitions reported as a count)."""

@@ -33,10 +33,19 @@ from repro.errors import LDSError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.lds.params import LDSParams
 from repro.lds.store import LevelStore, make_store
+from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
 from repro.runtime.executor import Executor, SequentialExecutor
 from repro.types import Edge, Vertex, canonicalize_batch
 
 Phase = Literal["insert", "delete"]
+
+# Handles looked up once; MetricsRegistry.reset() zeroes them in place, so
+# caching stays correct across test resets.  Every use is guarded by
+# ``_OBS.enabled`` — the disabled hot path costs one branch.
+_MOVES = _OBS.counter("plds_moves_total")
+_ROUNDS = _OBS.counter("plds_rounds_total")
+_ROUNDS_HIST = _OBS.histogram("plds_rounds_per_batch", COUNT_BUCKETS)
+_MOVES_HIST = _OBS.histogram("plds_moves_per_batch", COUNT_BUCKETS)
 
 
 def _noop(i: int) -> None:
@@ -187,7 +196,19 @@ class PLDS:
     # ------------------------------------------------------------------
     def _insert_phase(self, batch: Sequence[Edge]) -> None:
         state = self.state
-        applied = state.apply_edges(batch, "insert")
+        moves0, rounds0 = self.last_batch_moves, self.last_batch_rounds
+        with _OBS.span("plds.insert_phase") as sp:
+            applied = state.apply_edges(batch, "insert")
+            self._run_insert_rounds(applied)
+            if _OBS.enabled:
+                moved = self.last_batch_moves - moves0
+                rounds = self.last_batch_rounds - rounds0
+                sp.set(edges=len(applied), moves=moved, rounds=rounds)
+                _MOVES_HIST.observe(moved)
+                _ROUNDS_HIST.observe(rounds)
+
+    def _run_insert_rounds(self, applied: Sequence[Edge]) -> None:
+        state = self.state
         self.hooks.batch_begin("insert", applied)
         try:
             pending: dict[int, set[Vertex]] = {}
@@ -271,7 +292,19 @@ class PLDS:
     # ------------------------------------------------------------------
     def _delete_phase(self, batch: Sequence[Edge]) -> None:
         state = self.state
-        applied = state.apply_edges(batch, "delete")
+        moves0, rounds0 = self.last_batch_moves, self.last_batch_rounds
+        with _OBS.span("plds.delete_phase") as sp:
+            applied = state.apply_edges(batch, "delete")
+            self._run_delete_rounds(applied)
+            if _OBS.enabled:
+                moved = self.last_batch_moves - moves0
+                rounds = self.last_batch_rounds - rounds0
+                sp.set(edges=len(applied), moves=moved, rounds=rounds)
+                _MOVES_HIST.observe(moved)
+                _ROUNDS_HIST.observe(rounds)
+
+    def _run_delete_rounds(self, applied: Sequence[Edge]) -> None:
+        state = self.state
         self.hooks.batch_begin("delete", applied)
         try:
             outstanding: set[Vertex] = set()
@@ -337,6 +370,9 @@ class PLDS:
     def _count_moves(self, moved: int) -> None:
         self.last_batch_moves += moved
         self.last_batch_rounds += 1
+        if _OBS.enabled:
+            _MOVES.inc(moved)
+            _ROUNDS.inc()
         if self.last_batch_moves > self._move_budget:
             raise LDSError(
                 "batch rebalance exceeded the theoretical move budget; "

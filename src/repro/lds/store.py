@@ -38,10 +38,19 @@ import numpy as np
 from repro.errors import LDSError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.lds.params import LDSParams
+from repro.obs import REGISTRY as _OBS
 from repro.types import Vertex
 
 #: Registered storage backends, in preference order.
 BACKENDS = ("object", "columnar")
+
+# Cached kernel-call counters: one label per vectorised kernel, plus a rows
+# counter so a snapshot shows both call counts and work volume.
+_K_SCATTER = _OBS.counter("columnar_kernel_calls_total", {"kernel": "scatter_counters"})
+_K_RAISE = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_raise_level"})
+_K_INV1 = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_inv1_violators"})
+_K_DESIRE = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_desire_levels"})
+_K_ROWS = _OBS.counter("columnar_kernel_rows_total")
 
 
 @runtime_checkable
@@ -238,6 +247,9 @@ class ColumnarLevelStore:
     def _scatter_counters(self, arr: np.ndarray, sign: int) -> None:
         """Accumulate counter deltas for an edge array (levels held fixed,
         so the updates are order-independent)."""
+        if _OBS.enabled:
+            _K_SCATTER.inc()
+            _K_ROWS.inc(int(arr.shape[0]))
         level = self._level_arr
         for a, b in ((arr[:, 0], arr[:, 1]), (arr[:, 1], arr[:, 0])):
             la = level[a]
@@ -370,6 +382,9 @@ class ColumnarLevelStore:
         """
         new = old + 1
         self._ensure_width(new)
+        if _OBS.enabled:
+            _K_RAISE.inc()
+            _K_ROWS.inc(len(movers))
         graph = self.graph
         varr = np.fromiter(movers, count=len(movers), dtype=np.int64)
         counts = np.fromiter(
@@ -467,6 +482,9 @@ class ColumnarLevelStore:
     # ------------------------------------------------------------------
     def bulk_inv1_violators(self, cands: Sequence[Vertex]) -> list[Vertex]:
         """Which candidates violate Invariant 1, in submission order."""
+        if _OBS.enabled:
+            _K_INV1.inc()
+            _K_ROWS.inc(len(cands))
         c = np.asarray(cands, dtype=np.int64)
         lv = self._level_arr[c]
         viol = (lv < self.params.max_level) & (self.up_deg[c] > self._upper[lv])
@@ -477,6 +495,9 @@ class ColumnarLevelStore:
     ) -> list[tuple[Vertex, int]]:
         """(vertex, desire level) for every Invariant-2 violator among
         ``cands`` (others are simply omitted)."""
+        if _OBS.enabled:
+            _K_DESIRE.inc()
+            _K_ROWS.inc(len(cands))
         c = np.asarray(cands, dtype=np.int64)
         lv = self._level_arr[c]
         positive = lv > 0

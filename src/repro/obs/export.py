@@ -1,0 +1,196 @@
+"""Exporters for the metrics registry: JSON lines, Prometheus text, human.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` — one JSON object per line (``{"type": "counter", ...}``)
+  for log shippers and the bench harness;
+* :func:`to_prometheus` — the Prometheus text exposition format (counters
+  get a ``_total``-as-written name, histograms expand to cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``);
+* :func:`render` — an aligned text table for terminals and test output.
+
+All three are pure functions of the registry, deterministic given the same
+metric state (goldens live in ``tests/golden/``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable, Mapping
+
+from repro.obs.registry import MetricKey, MetricsRegistry
+
+__all__ = ["to_jsonl", "to_prometheus", "render"]
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _labels_dict(key: MetricKey) -> dict[str, str]:
+    return dict(key[1])
+
+
+def _fnum(x: int | float) -> str:
+    """Deterministic number formatting: ints bare, floats via repr."""
+    if isinstance(x, bool):  # pragma: no cover - defensive
+        return "1" if x else "0"
+    if isinstance(x, int):
+        return str(x)
+    if math.isinf(x):
+        return "+Inf" if x > 0 else "-Inf"
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return repr(x)
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def to_jsonl(registry: MetricsRegistry, *, spans: bool = True) -> str:
+    """Serialize the registry as JSON lines (sorted, deterministic)."""
+    lines: list[str] = []
+
+    def emit(obj: dict) -> None:
+        lines.append(json.dumps(obj, sort_keys=True, separators=(",", ":")))
+
+    for c in registry.counters():
+        emit(
+            {
+                "type": "counter",
+                "name": c.key[0],
+                "labels": _labels_dict(c.key),
+                "value": c.value,
+            }
+        )
+    for g in registry.gauges():
+        emit(
+            {
+                "type": "gauge",
+                "name": g.key[0],
+                "labels": _labels_dict(g.key),
+                "value": g.value,
+            }
+        )
+    for h in registry.histograms():
+        emit(
+            {
+                "type": "histogram",
+                "name": h.key[0],
+                "labels": _labels_dict(h.key),
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+            }
+        )
+    if spans:
+        for span in registry.spans:
+            emit({"type": "span", **span.as_dict()})
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    name = _PROM_NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize the registry in the Prometheus text format."""
+    out: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            out.append(f"# TYPE {name} {kind}")
+
+    for c in registry.counters():
+        name = _prom_name(c.key[0])
+        header(name, "counter")
+        out.append(f"{name}{_prom_labels(_labels_dict(c.key))} {_fnum(c.value)}")
+    for g in registry.gauges():
+        name = _prom_name(g.key[0])
+        header(name, "gauge")
+        out.append(f"{name}{_prom_labels(_labels_dict(g.key))} {_fnum(g.value)}")
+    for h in registry.histograms():
+        name = _prom_name(h.key[0])
+        labels = _labels_dict(h.key)
+        header(name, "histogram")
+        for le, cumulative in h.cumulative():
+            le_str = "+Inf" if math.isinf(le) else _fnum(le)
+            le_label = 'le="' + le_str + '"'
+            out.append(
+                f"{name}_bucket{_prom_labels(labels, le_label)} {cumulative}"
+            )
+        out.append(f"{name}_sum{_prom_labels(labels)} {_fnum(h.sum)}")
+        out.append(f"{name}_count{_prom_labels(labels)} {h.count}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# Human rendering
+# ----------------------------------------------------------------------
+def _table(headers: list[str], rows: Iterable[tuple]) -> str:
+    """Minimal aligned table (kept local: obs must not import the harness)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep, *map(line, str_rows)])
+
+
+def _key_str(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def render(registry: MetricsRegistry, *, spans: int = 8) -> str:
+    """Human-readable dump: counters, gauges, histogram summaries, spans."""
+    sections: list[str] = []
+    counter_rows = [(_key_str(c.key), _fnum(c.value)) for c in registry.counters()]
+    if counter_rows:
+        sections.append("counters:\n" + _table(["name", "value"], counter_rows))
+    gauge_rows = [(_key_str(g.key), _fnum(g.value)) for g in registry.gauges()]
+    if gauge_rows:
+        sections.append("gauges:\n" + _table(["name", "value"], gauge_rows))
+    hist_rows = []
+    for h in registry.histograms():
+        mean = h.sum / h.count if h.count else 0.0
+        hist_rows.append(
+            (_key_str(h.key), h.count, _fnum(round(mean, 9)), _fnum(h.sum))
+        )
+    if hist_rows:
+        sections.append(
+            "histograms:\n"
+            + _table(["name", "count", "mean", "sum"], hist_rows)
+        )
+    span_list = list(registry.spans)[-spans:]
+    if span_list:
+        rows = []
+        for root in span_list:
+            for depth, sp in root.walk():
+                attrs = " ".join(f"{k}={v}" for k, v in sorted(sp.attrs.items()))
+                rows.append(
+                    ("  " * depth + sp.name, f"{sp.duration * 1e3:.3f}", attrs)
+                )
+        sections.append("spans:\n" + _table(["span", "ms", "attrs"], rows))
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"

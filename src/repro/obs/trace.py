@@ -1,0 +1,129 @@
+"""Span-based phase tracing: nested wall-time scopes with attributes.
+
+A span measures one scope — a batch, a phase, a rebalancing round, a
+recovery — with :func:`time.perf_counter` and carries free-form attributes
+(moves, marked vertices, DAG counts ...).  Spans nest per thread: opening a
+span inside another makes it a child, so one insertion batch traces as::
+
+    cplds.insert_batch  edges=1000 marked=412 dags=17     12.3ms
+      plds.insert_phase moves=520 rounds=9                 11.8ms
+
+Finished **root** spans are appended to ``registry.spans`` (a bounded
+deque) and every finished span feeds the registry histogram
+``span_<name>_seconds``, which is how phase latency distributions end up in
+``BENCH_*.json`` without any extra plumbing.
+
+When the registry is disabled, ``registry.span(...)`` hands back the shared
+:data:`NULL_SPAN`, whose every method is a no-op — cold call sites can
+trace unconditionally and still cost almost nothing when observability is
+off.  Hot paths (per-move, per-read) should still branch on
+``registry.enabled`` instead of opening spans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN"]
+
+
+class Span:
+    """One traced scope; use as a context manager."""
+
+    __slots__ = (
+        "name", "attrs", "children", "start", "duration", "_registry",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        attrs: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.duration = 0.0
+        self._registry = registry
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.duration = time.perf_counter() - self.start
+        registry = self._registry
+        stack = registry._span_stack()
+        # Tolerate a foreign top-of-stack (mismatched exits) rather than
+        # corrupting sibling spans: pop only our own frame.
+        if stack and stack[-1] is self:
+            stack.pop()
+        if not stack:
+            registry.spans.append(self)
+        registry.observe(f"span_{self.name}_seconds", self.duration)
+
+    # -- reporting --------------------------------------------------------
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, span)`` over this span and its descendants."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by the JSONL exporter)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"attrs={self.attrs}, children={len(self.children)})"
+        )
+
+
+class NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: dict[str, Any] = {}
+    children: list = []
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def walk(self, depth: int = 0):
+        return iter(())
+
+    def as_dict(self) -> dict:
+        return {"name": "", "duration_s": 0.0, "attrs": {}, "children": []}
+
+
+#: The singleton no-op span.
+NULL_SPAN = NullSpan()

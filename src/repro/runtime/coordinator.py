@@ -44,7 +44,14 @@ from repro.errors import (
     CoordinatorDiedError,
     TicketTimeoutError,
 )
+from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
 from repro.types import Edge, Vertex, canonical_edge
+
+# Cached metric handles (all touched once per batch, on the update thread).
+_Q_DEPTH = _OBS.gauge("coordinator_queue_depth")
+_CO_BATCHES = _OBS.counter("coordinator_batches_total")
+_CO_UPDATES = _OBS.counter("coordinator_updates_total")
+_CO_SIZE = _OBS.histogram("coordinator_batch_size", COUNT_BUCKETS)
 
 
 @dataclass
@@ -276,6 +283,12 @@ class BatchCoordinator:
         return {}
 
     def _apply(self, batch: list[UpdateTicket]) -> None:
+        if _OBS.enabled:
+            # Depth *after* draining this batch: what is still waiting.
+            _Q_DEPTH.set(self._queue.qsize())
+            _CO_BATCHES.inc()
+            _CO_UPDATES.inc(len(batch))
+            _CO_SIZE.observe(len(batch))
         # Pre-process: last op per edge wins (the paper's batch semantics).
         final: dict[Edge, UpdateTicket] = {}
         order: list[Edge] = []

@@ -46,6 +46,7 @@ from repro.errors import (
 )
 from repro.harness.telemetry import ServiceTelemetry
 from repro.lds.params import LDSParams
+from repro.obs import REGISTRY as _OBS
 from repro.runtime.coordinator import BatchCoordinator
 from repro.types import Edge, Vertex, canonical_edge
 
@@ -627,28 +628,36 @@ class SupervisedCPLDS:
 
     def _recover(self, pre_state) -> bool:
         """Restore a consistent pre-batch structure; False = now FAILED."""
-        self._set_health(HealthState.RECOVERING)
-        self.telemetry.recoveries += 1
-        try:
-            if self._journal is not None:
-                assert self._journal_dir is not None
-                impl, _report = restore_from_dir(self._journal_dir)
-            else:
-                # Persistence-free mode: exact in-place restore of the state
-                # snapshotted just before the failed attempt.
-                impl = self.impl
-                impl.restore_state(pre_state)
-        except Exception as exc:
-            self._fail(exc)
-            return False
-        self.impl = impl
-        if self.post_restore is not None:
-            self.post_restore(impl)
-        # The restored structure is consistent: refresh the read snapshot
-        # (readers keep the stale tag until a batch commits again).
-        self._snapshot = self._take_snapshot()
-        self._committed_since_snapshot = 0
-        return True
+        with _OBS.span(
+            "supervisor.recover", journaled=self._journal is not None
+        ) as sp:
+            self._set_health(HealthState.RECOVERING)
+            self.telemetry.recoveries += 1
+            try:
+                if self._journal is not None:
+                    assert self._journal_dir is not None
+                    impl, report = restore_from_dir(self._journal_dir)
+                    sp.set(
+                        replayed=report.replayed,
+                        checkpoint_seq=report.checkpoint_seq,
+                    )
+                else:
+                    # Persistence-free mode: exact in-place restore of the
+                    # state snapshotted just before the failed attempt.
+                    impl = self.impl
+                    impl.restore_state(pre_state)
+            except Exception as exc:
+                self._fail(exc)
+                sp.set(failed=True)
+                return False
+            self.impl = impl
+            if self.post_restore is not None:
+                self.post_restore(impl)
+            # The restored structure is consistent: refresh the read snapshot
+            # (readers keep the stale tag until a batch commits again).
+            self._snapshot = self._take_snapshot()
+            self._committed_since_snapshot = 0
+            return True
 
     def _fail(self, cause: BaseException) -> None:
         self.failure_cause = cause
@@ -677,7 +686,8 @@ class SupervisedCPLDS:
         name = f"checkpoint-{self._last_seq:08d}.npz"
         path = os.path.join(self._journal_dir, name)
         try:
-            save_cplds(self.impl, path)
+            with _OBS.span("supervisor.checkpoint", seq=self._last_seq):
+                save_cplds(self.impl, path)
         except Exception:
             # A rejected checkpoint is not fatal: recovery falls back to an
             # older one (or a genesis replay).  Leave no partial file.

@@ -19,7 +19,15 @@ Safety properties relied on by the CPLDS descriptor DAGs (and tested in
 
 from __future__ import annotations
 
+from repro.obs import REGISTRY as _OBS
 from repro.unionfind.atomics import stripe_lock_for
+
+# Cached metric handles; every site below is guarded by ``_OBS.enabled``
+# so the disabled cost is one branch per operation.
+_FINDS = _OBS.counter("unionfind_finds_total")
+_UNIONS = _OBS.counter("unionfind_unions_total")
+_COMPRESSIONS = _OBS.counter("unionfind_compressions_total")
+_UNION_RETRIES = _OBS.counter("unionfind_union_retries_total")
 
 
 class ConcurrentUnionFind:
@@ -67,12 +75,18 @@ class ConcurrentUnionFind:
         # Races are benign — we only overwrite values we just observed, and
         # the observed parent is always an ancestor of the node.
         node = x
+        compressed = 0
         while node != root:
             p = parent[node]
             if p == root:
                 break
-            self._cas_parent(node, p, root)
+            if self._cas_parent(node, p, root):
+                compressed += 1
             node = p
+        if _OBS.enabled:
+            _FINDS.inc()
+            if compressed:
+                _COMPRESSIONS.inc(compressed)
         return root
 
     def union(self, a: int, b: int) -> int:
@@ -81,6 +95,8 @@ class ConcurrentUnionFind:
         The retry loop is the standard lock-free pattern: a failed CAS means
         a concurrent link changed one of the roots, so re-``find`` and retry.
         """
+        if _OBS.enabled:
+            _UNIONS.inc()
         while True:
             ra, rb = self.find(a), self.find(b)
             if ra == rb:
@@ -89,6 +105,8 @@ class ConcurrentUnionFind:
             if self._cas_parent(loser, loser, winner):
                 return winner
             # Contention: someone linked `loser` elsewhere; retry from finds.
+            if _OBS.enabled:
+                _UNION_RETRIES.inc()
 
     def same_set(self, a: int, b: int) -> bool:
         """Whether ``a`` and ``b`` are in the same set.

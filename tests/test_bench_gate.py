@@ -1,0 +1,142 @@
+"""Tests for the CI perf-regression gate (`repro.harness.bench_gate`).
+
+The gate's contract: deterministic work counters compare exactly (higher =
+fail, lower = warn), wall-clock medians only ever warn, and `--warn-only`
+(the CI override label's mode) downgrades failures to exit 0.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness import bench_gate
+from repro.harness.bench_json import WORK_COUNTERS
+
+
+def _doc(moves=1000, rounds=50, batch_s=0.5, read_s=1e-5) -> dict:
+    work = {name: 1 for name in WORK_COUNTERS}
+    work["plds_moves_total"] = moves
+    work["plds_rounds_total"] = rounds
+    backends = {}
+    metrics = {}
+    for backend in ("object", "columnar"):
+        backends[backend] = {
+            "fig3": {"cplds_median_read_latency_s": read_s},
+            "fig5": {"cplds_median_batch_time_s": batch_s},
+            "fig7": {},
+        }
+        metrics[backend] = {"work": dict(work), "snapshot": {}}
+    return {"backends": backends, "metrics": metrics}
+
+
+def test_identical_documents_pass():
+    doc = _doc()
+    result = bench_gate.compare(doc, copy.deepcopy(doc))
+    assert result.ok
+    assert result.failures == []
+    assert result.warnings == []
+
+
+def test_counter_regression_fails():
+    base = _doc(moves=1000)
+    cand = _doc(moves=1001)
+    result = bench_gate.compare(base, cand)
+    assert not result.ok
+    # Both backends regressed (the fixture shares the work dict shape).
+    assert len(result.failures) == 2
+    assert "plds_moves_total" in result.failures[0]
+    assert "+1" in result.failures[0]
+
+
+def test_counter_improvement_warns_only():
+    result = bench_gate.compare(_doc(moves=1000), _doc(moves=900))
+    assert result.ok
+    assert len(result.warnings) == 2
+    assert "improved" in result.warnings[0]
+
+
+def test_wall_clock_is_warn_only():
+    # 10x slower wall clock: far past tolerance, still passes.
+    result = bench_gate.compare(_doc(batch_s=0.5), _doc(batch_s=5.0))
+    assert result.ok
+    assert any("fig5_batch_time_s" in w for w in result.warnings)
+
+
+def test_wall_clock_within_tolerance_is_silent():
+    result = bench_gate.compare(_doc(batch_s=0.5), _doc(batch_s=0.55))
+    assert result.ok and result.warnings == []
+
+
+def test_missing_metrics_section_fails():
+    base = _doc()
+    del base["metrics"]
+    result = bench_gate.compare(base, _doc())
+    assert not result.ok
+    assert "regenerate" in result.failures[0]
+
+    cand = _doc()
+    del cand["metrics"]["columnar"]["work"]
+    result = bench_gate.compare(_doc(), cand)
+    assert not result.ok
+    assert any("[columnar]" in f for f in result.failures)
+
+
+def test_missing_counter_fails():
+    cand = _doc()
+    del cand["metrics"]["object"]["work"]["plds_rounds_total"]
+    result = bench_gate.compare(_doc(), cand)
+    assert not result.ok
+    assert any("plds_rounds_total" in f for f in result.failures)
+
+
+def test_empty_documents_fail():
+    assert not bench_gate.compare({}, {}).ok
+
+
+@pytest.mark.parametrize(
+    "mutate,expected",
+    [(lambda d: None, 0), (lambda d: d["metrics"]["object"]["work"].update(plds_moves_total=9999), 1)],
+)
+def test_cli_exit_codes(tmp_path, capsys, mutate, expected):
+    base = _doc()
+    cand = _doc()
+    mutate(cand)
+    bp = tmp_path / "base.json"
+    cp = tmp_path / "cand.json"
+    bp.write_text(json.dumps(base))
+    cp.write_text(json.dumps(cand))
+    rc = bench_gate.main(["--baseline", str(bp), "--candidate", str(cp)])
+    assert rc == expected
+    out = capsys.readouterr().out
+    assert ("PASS" in out) == (expected == 0)
+
+
+def test_cli_warn_only_overrides_failure(tmp_path, capsys):
+    base = _doc()
+    cand = _doc(moves=2000)
+    bp = tmp_path / "base.json"
+    cp = tmp_path / "cand.json"
+    bp.write_text(json.dumps(base))
+    cp.write_text(json.dumps(cand))
+    rc = bench_gate.main(
+        ["--baseline", str(bp), "--candidate", str(cp), "--warn-only"]
+    )
+    assert rc == 0
+    assert "overridden" in capsys.readouterr().out
+
+
+def test_checked_in_baseline_has_metrics():
+    """The repo's own BENCH_pr4.json must carry the work-counter section
+    the CI gate depends on, for both backends."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr4.json")
+    with open(path) as fh:
+        doc = json.load(fh)
+    for backend in ("object", "columnar"):
+        work = doc["metrics"][backend]["work"]
+        for name in WORK_COUNTERS:
+            assert isinstance(work[name], int) and work[name] >= 0
+    # Work counters are backend-independent by construction.
+    assert doc["metrics"]["object"]["work"] == doc["metrics"]["columnar"]["work"]
