@@ -155,8 +155,11 @@ class CPLDS:
         which the paper's model excludes by making update processes
         synchronous).
     backend:
-        Level-store backend name (``"object"`` or ``"columnar"``); see
-        :mod:`repro.lds.store`.
+        Level-store backend name (``"object"``, ``"columnar"`` or
+        ``"columnar-frontier"``); see :mod:`repro.lds.store`.  The
+        frontier backend is constructed via
+        :class:`repro.core.frontier.FrontierCPLDS` (the engine registry
+        routes there automatically).
 
     Examples
     --------
@@ -411,7 +414,7 @@ class CPLDS:
         batch, which — the PLDS being deterministic under the sequential
         executor — reproduces the exact level history of the original.
         """
-        return CPLDS(
+        return type(self)(
             self.graph.num_vertices,
             params=self.params,
             max_read_retries=self.max_read_retries,

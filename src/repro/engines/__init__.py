@@ -4,7 +4,9 @@ Everything above the data-structure layer — runtime services, the
 experiment harness, workload replay, benchmarks — builds engines through
 :func:`create` instead of naming concrete classes, so both the engine
 *algorithm* (``"cplds"``, ``"nonsync"``, ...) and the level-store
-*backend* (``"object"``, ``"columnar"``) are late-bound configuration:
+*backend* (``"object"``, ``"columnar"``, ``"columnar-frontier"``) are
+late-bound configuration — the ``cplds`` factory routes the frontier
+backend to the vectorized :class:`repro.core.frontier.FrontierCPLDS`:
 
 >>> from repro import engines
 >>> eng = engines.create("cplds", 100, backend="columnar")
@@ -51,8 +53,22 @@ def _make_plds(num_vertices: int, *, params=None, executor=None, **kwargs):
     return PLDS(num_vertices, params=params, executor=executor, **kwargs)
 
 
-def _make_cplds(num_vertices: int, *, params=None, executor=None, **kwargs):
-    return CPLDS(num_vertices, params=params, executor=executor, **kwargs)
+def _make_cplds(
+    num_vertices: int, *, params=None, executor=None, backend="object", **kwargs
+):
+    if backend == "columnar-frontier":
+        from repro.core.frontier import FrontierCPLDS
+
+        return FrontierCPLDS(
+            num_vertices,
+            params=params,
+            executor=executor,
+            backend=backend,
+            **kwargs,
+        )
+    return CPLDS(
+        num_vertices, params=params, executor=executor, backend=backend, **kwargs
+    )
 
 
 def _make_nonsync(num_vertices: int, *, params=None, executor=None, **kwargs):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, csr_view
 from repro.graph.dynamic_graph import DynamicGraph
 
 
@@ -49,7 +49,7 @@ def hindex_coreness(
     ``max_sweeps`` bounds the loop (``None`` = run to convergence);
     ``return_sweeps`` additionally returns how many sweeps were needed.
     """
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_dynamic(graph)
+    csr = graph if isinstance(graph, CSRGraph) else csr_view(graph)
     n = csr.num_vertices
     values = csr.degrees().astype(np.int64)
     sweeps = 0
@@ -77,7 +77,7 @@ def hindex_upper_bound_property(graph: CSRGraph | DynamicGraph) -> bool:
     """
     from repro.exact.peeling import core_decomposition
 
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_dynamic(graph)
+    csr = graph if isinstance(graph, CSRGraph) else csr_view(graph)
     exact = core_decomposition(csr)
     one_sweep = hindex_coreness(csr, max_sweeps=1)
     return bool(np.all(one_sweep >= exact))

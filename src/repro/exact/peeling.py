@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, csr_view
 from repro.graph.dynamic_graph import DynamicGraph
 
 
 def _as_csr(graph: CSRGraph | DynamicGraph) -> CSRGraph:
     if isinstance(graph, DynamicGraph):
-        return CSRGraph.from_dynamic(graph)
+        return csr_view(graph)
     return graph
 
 

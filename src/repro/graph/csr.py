@@ -1,10 +1,17 @@
 """Static CSR (compressed sparse row) snapshot of an undirected graph.
 
-The exact k-core peeling algorithm (:mod:`repro.exact.peeling`) is the one
-hot numeric kernel in this library that benefits from contiguous arrays, so
-following the HPC guidance we freeze the mutable :class:`DynamicGraph` into a
-numpy CSR structure before running it.  The snapshot is immutable by
-convention: its arrays are created fresh and never mutated afterwards.
+The exact k-core peeling algorithm (:mod:`repro.exact.peeling`) and the
+frontier level store's neighbour gathers are the hot numeric kernels in this
+library that benefit from contiguous arrays, so following the HPC guidance we
+freeze the mutable :class:`DynamicGraph` into a numpy CSR structure before
+running them.  The snapshot is immutable by convention: its arrays are
+created fresh and never mutated afterwards.
+
+:func:`csr_view` is the cached entry point: it keys the snapshot on the
+graph's edge-set version, so repeated callers between mutations (every
+``core_decomposition`` / ``degeneracy`` / ``k_core_subgraph`` call in an
+analysis session, say) share one set of arrays instead of re-freezing the
+graph each time.
 """
 
 from __future__ import annotations
@@ -87,3 +94,21 @@ class CSRGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSRGraph(n={self._n}, m={self._m})"
+
+
+def csr_view(g: DynamicGraph) -> CSRGraph:
+    """A CSR snapshot of ``g``, cached on the graph's edge-set version.
+
+    The first call after any mutation freezes the graph (O(n + m)); every
+    further call before the next mutation returns the exact same
+    :class:`CSRGraph` object (and therefore the same arrays).  The dirty
+    check is one integer comparison, so callers can use this unconditionally
+    wherever they previously called :meth:`CSRGraph.from_dynamic`.
+    """
+    cached = g._csr_cache
+    version = g._version
+    if cached is not None and cached[0] == version:
+        return cached[1]  # type: ignore[return-value]
+    csr = CSRGraph.from_dynamic(g)
+    g._csr_cache = (version, csr)
+    return csr

@@ -49,7 +49,7 @@ class DynamicGraph:
     [0, 1, 3]
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_version", "_csr_cache")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if num_vertices < 0:
@@ -57,6 +57,13 @@ class DynamicGraph:
         self._n = num_vertices
         self._adj: list[set[Vertex]] = [set() for _ in range(num_vertices)]
         self._m = 0
+        #: Monotonic edge-set version: bumped whenever the edge set actually
+        #: changes.  Consumers holding derived views (the cached CSR snapshot,
+        #: the frontier store's edge arrays) compare against it to decide
+        #: between an incremental update and a full resync.
+        self._version = 0
+        #: ``(version, CSRGraph)`` cache slot for :func:`repro.graph.csr.csr_view`.
+        self._csr_cache: tuple[int, object] | None = None
         inserted = self.insert_batch(edges)
         del inserted
 
@@ -72,6 +79,11 @@ class DynamicGraph:
     def num_edges(self) -> int:
         """Number of edges currently present."""
         return self._m
+
+    @property
+    def version(self) -> int:
+        """Monotonic edge-set version (bumps only on actual changes)."""
+        return self._version
 
     def degree(self, v: Vertex) -> int:
         """Degree of ``v``."""
@@ -121,6 +133,7 @@ class DynamicGraph:
         for s in self._adj:
             s.clear()
         self._m = 0
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Batch mutation
@@ -143,6 +156,8 @@ class DynamicGraph:
             self._adj[v].add(u)
             count += 1
         self._m += count
+        if count:
+            self._version += 1
         return count
 
     def delete_batch(self, edges: EdgeBatch | Iterable[Edge], *, strict: bool = False) -> int:
@@ -158,6 +173,8 @@ class DynamicGraph:
             self._adj[v].discard(u)
             count += 1
         self._m -= count
+        if count:
+            self._version += 1
         return count
 
     def insert_edge(self, u: Vertex, v: Vertex) -> bool:

@@ -24,7 +24,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.harness.bench_json -o /tmp/candidate.json
     PYTHONPATH=src python -m repro.harness.bench_gate \
-        --baseline BENCH_pr4.json --candidate /tmp/candidate.json
+        --baseline BENCH_pr6.json --candidate /tmp/candidate.json
 """
 
 from __future__ import annotations

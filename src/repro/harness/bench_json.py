@@ -2,13 +2,18 @@
 
 Runs the Fig 3 (read latency), Fig 5 (batch update time) and Fig 7
 (virtual-time throughput) drivers once per backend and writes one JSON
-document with per-figure CPLDS medians plus the two headline ratios the
-backend refactor is judged on:
+document with per-figure CPLDS medians plus the headline ratios the
+backend refactors are judged on:
 
 * ``fig5_update_speedup`` — object median batch time / columnar median
   batch time (> 1 means the columnar backend updates faster);
+* ``fig5_frontier_speedup`` — object median batch time /
+  columnar-frontier median batch time (the vectorized frontier engine's
+  acceptance ratio; target ≥ 3);
 * ``fig3_latency_ratio`` — columnar median read latency / object median
-  (≈ 1 means no read-side regression).
+  (≈ 1 means no read-side regression);
+* ``fig3_frontier_latency_ratio`` — the same ratio for the frontier
+  engine's union-find-walking readers.
 
 The document also embeds a ``metrics`` section captured from the
 observability registry (:mod:`repro.obs`): per backend, the deterministic
@@ -21,7 +26,7 @@ warned about.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.harness.bench_json -o BENCH_pr4.json
+    PYTHONPATH=src python -m repro.harness.bench_json -o BENCH_pr6.json
 """
 
 from __future__ import annotations
@@ -144,6 +149,7 @@ def collect(config: E.ExperimentConfig) -> dict:
         obs.reset()
     obj = per_backend["object"]
     col = per_backend["columnar"]
+    frontier = per_backend["columnar-frontier"]
     return {
         "config": {
             "datasets": list(config.datasets),
@@ -156,8 +162,16 @@ def collect(config: E.ExperimentConfig) -> dict:
             obj["fig5"]["cplds_median_batch_time_s"]
             / col["fig5"]["cplds_median_batch_time_s"]
         ),
+        "fig5_frontier_speedup": (
+            obj["fig5"]["cplds_median_batch_time_s"]
+            / frontier["fig5"]["cplds_median_batch_time_s"]
+        ),
         "fig3_latency_ratio": (
             col["fig3"]["cplds_median_read_latency_s"]
+            / obj["fig3"]["cplds_median_read_latency_s"]
+        ),
+        "fig3_frontier_latency_ratio": (
+            frontier["fig3"]["cplds_median_read_latency_s"]
             / obj["fig3"]["cplds_median_read_latency_s"]
         ),
     }
@@ -168,7 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("-o", "--output", default="BENCH_pr4.json")
+    parser.add_argument("-o", "--output", default="BENCH_pr6.json")
     parser.add_argument("--full", action="store_true",
                         help="use the FULL config instead of QUICK")
     args = parser.parse_args(argv)
@@ -180,7 +194,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(
         f"wrote {args.output}: "
         f"fig5_update_speedup={doc['fig5_update_speedup']:.2f}x "
-        f"fig3_latency_ratio={doc['fig3_latency_ratio']:.2f}x"
+        f"fig5_frontier_speedup={doc['fig5_frontier_speedup']:.2f}x "
+        f"fig3_latency_ratio={doc['fig3_latency_ratio']:.2f}x "
+        f"fig3_frontier_latency_ratio={doc['fig3_frontier_latency_ratio']:.2f}x"
     )
     return 0
 

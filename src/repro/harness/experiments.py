@@ -50,7 +50,8 @@ class ExperimentConfig:
     error_sample_size: int = 150
     #: Thread counts for the Fig 7 sweeps.
     thread_counts: tuple[int, ...] = (1, 2, 4, 8, 15)
-    #: Level-store backend every impl is built on (``"object"`` | ``"columnar"``).
+    #: Level-store backend every impl is built on
+#: (``"object"`` | ``"columnar"`` | ``"columnar-frontier"``).
     backend: str = "object"
 
     def with_(self, **kwargs) -> "ExperimentConfig":

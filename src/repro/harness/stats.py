@@ -49,9 +49,13 @@ class LatencyStats:
             raise ValueError("LatencyStats of empty sample set")
         ordered = sorted(samples)
         n = len(ordered)
+        # fsum + clamp: naive summation can push the mean one ULP outside
+        # [min, max] (e.g. three identical samples), breaking the ordering
+        # invariant downstream consumers assert.
+        mean = min(max(math.fsum(ordered) / n, ordered[0]), ordered[-1])
         return cls(
             count=n,
-            mean=sum(ordered) / n,
+            mean=mean,
             p50=percentile(ordered, 50.0),
             p99=percentile(ordered, 99.0),
             p9999=percentile(ordered, 99.99),

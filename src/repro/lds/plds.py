@@ -60,6 +60,12 @@ class UpdateHooks:
     to inject reads at deterministic points inside a batch.
     """
 
+    #: Hooks that can consume whole-frontier move notifications (arrays of
+    #: movers plus their gathered neighbour rows) set this to True; the
+    #: frontier round driver then skips the per-vertex ``before_move`` loop.
+    #: See :class:`repro.core.frontier.FrontierMarkingHooks`.
+    supports_bulk_moves = False
+
     def batch_begin(self, kind: Phase, edges: Sequence[Edge]) -> None:
         """Called once per phase, after edges are applied to the graph."""
 
@@ -88,8 +94,8 @@ class PLDS:
     hooks:
         :class:`UpdateHooks` for batch instrumentation (CPLDS marking).
     backend:
-        Level-store backend name (``"object"`` or ``"columnar"``); see
-        :mod:`repro.lds.store`.
+        Level-store backend name (``"object"``, ``"columnar"`` or
+        ``"columnar-frontier"``); see :mod:`repro.lds.store`.
 
     Examples
     --------
@@ -209,6 +215,14 @@ class PLDS:
 
     def _run_insert_rounds(self, applied: Sequence[Edge]) -> None:
         state = self.state
+        if getattr(state, "supports_frontier", False):
+            # The columnar-frontier store runs the whole phase as numpy
+            # array passes (same rounds, same counters — differentially
+            # pinned); see repro.core.frontier.
+            from repro.core.frontier import run_insert_rounds
+
+            run_insert_rounds(self, applied)
+            return
         self.hooks.batch_begin("insert", applied)
         try:
             pending: dict[int, set[Vertex]] = {}
@@ -305,6 +319,11 @@ class PLDS:
 
     def _run_delete_rounds(self, applied: Sequence[Edge]) -> None:
         state = self.state
+        if getattr(state, "supports_frontier", False):
+            from repro.core.frontier import run_delete_rounds
+
+            run_delete_rounds(self, applied)
+            return
         self.hooks.batch_begin("delete", applied)
         try:
             outstanding: set[Vertex] = set()

@@ -15,8 +15,18 @@ quantities are laid out in memory.  This module makes the layout a choice:
   occupied level, so it stays "num_groups-ish" in practice).  Invariant
   checks and desire-level scans over whole candidate sets become single
   vectorised kernels, and snapshots are O(1)-ish array copies.
+* :class:`FrontierLevelStore` — the columnar layout plus the whole-frontier
+  machinery behind the ``columnar-frontier`` engine: an incrementally
+  maintained flat edge list frozen into a CSR view once per phase
+  (:meth:`FrontierLevelStore.sync_csr`), neighbour gathers as
+  ``offsets``/``targets`` slices, and array-in/array-out round kernels
+  (:meth:`~FrontierLevelStore.bulk_inv1_violators_arr`,
+  :meth:`~FrontierLevelStore.bulk_desire_levels_arr`,
+  :meth:`~FrontierLevelStore.bulk_raise_level_rows`,
+  :meth:`~FrontierLevelStore.bulk_move_to_level_rows`) consumed by the
+  frontier round driver in :mod:`repro.core.frontier`.
 
-Both backends expose the same surface (see :class:`LevelStore`); pick one
+All backends expose the same surface (see :class:`LevelStore`); pick one
 with :func:`make_store` or — at the system level — via
 ``repro.engines.create(name, backend=...)``.
 
@@ -42,7 +52,7 @@ from repro.obs import REGISTRY as _OBS
 from repro.types import Vertex
 
 #: Registered storage backends, in preference order.
-BACKENDS = ("object", "columnar")
+BACKENDS = ("object", "columnar", "columnar-frontier")
 
 # Cached kernel-call counters: one label per vectorised kernel, plus a rows
 # counter so a snapshot shows both call counts and work volume.
@@ -50,6 +60,8 @@ _K_SCATTER = _OBS.counter("columnar_kernel_calls_total", {"kernel": "scatter_cou
 _K_RAISE = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_raise_level"})
 _K_INV1 = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_inv1_violators"})
 _K_DESIRE = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_desire_levels"})
+_K_MOVE = _OBS.counter("columnar_kernel_calls_total", {"kernel": "bulk_move_to_level"})
+_K_CSR = _OBS.counter("columnar_kernel_calls_total", {"kernel": "csr_rebuild"})
 _K_ROWS = _OBS.counter("columnar_kernel_rows_total")
 
 
@@ -612,6 +624,336 @@ class ColumnarLevelStore:
                 )
 
 
+class FrontierLevelStore(ColumnarLevelStore):
+    """Columnar store + per-phase CSR view + whole-frontier round kernels.
+
+    The backend behind the ``columnar-frontier`` engine.  On top of the
+    columnar layout it maintains a flat edge list (``_eu``/``_ev`` slot
+    arrays with an alive mask, appended/killed incrementally by
+    :meth:`apply_edges` and compacted when dead slots dominate).  At the
+    start of each update phase the round driver calls :meth:`sync_csr`,
+    which freezes the live edges into ``offsets``/``targets`` CSR arrays
+    with one stable integer argsort — O(m) radix work amortised against the
+    whole phase's neighbour gathers, and skipped entirely when the edge set
+    did not change since the last build (keyed on
+    :attr:`DynamicGraph.version`, so out-of-band mutations such as
+    ``restore_state``/``rebuild`` trigger a full resync instead of silent
+    staleness).
+
+    The ``*_arr`` / ``*_rows`` kernels are the array-in/array-out versions
+    of the scalar round decisions; each is differentially pinned to the
+    scalar semantics by the backend differential suite.
+    """
+
+    backend = "columnar-frontier"
+    #: The frontier round driver (repro.core.frontier) takes over the PLDS
+    #: phase loops when the store advertises this.
+    supports_frontier = True
+
+    __slots__ = (
+        "_eu", "_ev", "_alive", "_n_slots", "_dead", "_slot_of",
+        "_graph_version", "_csr_offsets", "_csr_targets", "_csr_version",
+        "_iota",
+    )
+
+    def __init__(self, graph: DynamicGraph, params: LDSParams) -> None:
+        super().__init__(graph, params)
+        self._graph_version = -1
+        self._csr_version = -1
+        self._csr_offsets = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+        self._csr_targets = np.empty(0, dtype=np.int64)
+        self._iota = np.arange(1024, dtype=np.int64)
+        self._resync_edges()
+
+    # ------------------------------------------------------------------
+    # Incremental edge list
+    # ------------------------------------------------------------------
+    def _resync_edges(self) -> None:
+        """Rebuild the slot arrays from the graph (restore/rebuild path)."""
+        edge_list = list(self.graph.edges())
+        k = len(edge_list)
+        cap = max(16, 2 * k)
+        self._eu = np.empty(cap, dtype=np.int64)
+        self._ev = np.empty(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=bool)
+        if k:
+            arr = np.asarray(edge_list, dtype=np.int64)
+            self._eu[:k] = arr[:, 0]
+            self._ev[:k] = arr[:, 1]
+            self._alive[:k] = True
+        self._slot_of = {e: i for i, e in enumerate(edge_list)}
+        self._n_slots = k
+        self._dead = 0
+        self._graph_version = self.graph.version
+        self._csr_version = -1
+
+    def _grow_slots(self, need: int) -> None:
+        cap = max(2 * len(self._eu), need)
+        for name in ("_eu", "_ev"):
+            old = getattr(self, name)
+            grown = np.empty(cap, dtype=np.int64)
+            grown[: self._n_slots] = old[: self._n_slots]
+            setattr(self, name, grown)
+        alive = np.zeros(cap, dtype=bool)
+        alive[: self._n_slots] = self._alive[: self._n_slots]
+        self._alive = alive
+
+    def _append_edges(self, batch: list[tuple[Vertex, Vertex]]) -> None:
+        k = len(batch)
+        s = self._n_slots
+        if s + k > len(self._eu):
+            self._grow_slots(s + k)
+        arr = np.asarray(batch, dtype=np.int64).reshape(-1, 2)
+        self._eu[s : s + k] = arr[:, 0]
+        self._ev[s : s + k] = arr[:, 1]
+        self._alive[s : s + k] = True
+        slot_of = self._slot_of
+        for i, e in enumerate(batch):
+            slot_of[e] = s + i
+        self._n_slots = s + k
+
+    def _kill_edges(self, batch: list[tuple[Vertex, Vertex]]) -> None:
+        slot_of = self._slot_of
+        idx = np.fromiter(
+            (slot_of.pop(e) for e in batch), dtype=np.int64, count=len(batch)
+        )
+        self._alive[idx] = False
+        self._dead += len(batch)
+        if self._dead > max(256, self._n_slots - self._dead):
+            self._compact_slots()
+
+    def _compact_slots(self) -> None:
+        live = self._alive[: self._n_slots]
+        eu = self._eu[: self._n_slots][live]
+        ev = self._ev[: self._n_slots][live]
+        k = len(eu)
+        self._eu[:k] = eu
+        self._ev[:k] = ev
+        self._alive[:k] = True
+        self._alive[k:] = False
+        self._slot_of = {
+            (int(u), int(v)): i
+            for i, (u, v) in enumerate(zip(eu.tolist(), ev.tolist()))
+        }
+        self._n_slots = k
+        self._dead = 0
+
+    def apply_edges(
+        self, edges: Iterable[tuple[Vertex, Vertex]], kind: str
+    ) -> list[tuple[Vertex, Vertex]]:
+        pre = self.graph.version
+        batch = super().apply_edges(edges, kind)
+        if batch:
+            if self._graph_version == pre:
+                # In sync before the batch: track it incrementally.  When
+                # stale (out-of-band graph mutation), stay stale and let
+                # sync_csr trigger the full resync.
+                if kind == "insert":
+                    self._append_edges(batch)
+                else:
+                    self._kill_edges(batch)
+                self._graph_version = self.graph.version
+        return batch
+
+    # ------------------------------------------------------------------
+    # CSR view + gathers
+    # ------------------------------------------------------------------
+    def sync_csr(self) -> None:
+        """Freeze the live edge set into CSR arrays (no-op when current)."""
+        version = self.graph.version
+        if self._graph_version != version:
+            self._resync_edges()
+        if self._csr_version == version:
+            return
+        n = self.graph.num_vertices
+        k = self._n_slots
+        eu = self._eu[:k]
+        ev = self._ev[:k]
+        if self._dead:
+            live = self._alive[:k]
+            eu = eu[live]
+            ev = ev[live]
+        src = np.concatenate([eu, ev])
+        dst = np.concatenate([ev, eu])
+        if _OBS.enabled:
+            _K_CSR.inc()
+            _K_ROWS.inc(int(src.size))
+        order = np.argsort(src, kind="stable")
+        self._csr_targets = dst[order]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if src.size:
+            counts = np.bincount(src, minlength=n)
+            np.cumsum(counts, out=offsets[1:])
+        self._csr_offsets = offsets
+        self._csr_version = version
+
+    def gather_rows(self, varr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All CSR adjacency rows of ``varr`` flattened: ``(src, flat)``
+        where ``flat[i]`` is a neighbour of ``src[i]``.  Syncs the CSR view
+        on demand (a two-comparison no-op when already current), so phases
+        that never gather skip the rebuild entirely."""
+        self.sync_csr()
+        offsets = self._csr_offsets
+        start = offsets[varr]
+        cnt = offsets[varr + 1] - start
+        total = int(cnt.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if total > len(self._iota):
+            self._iota = np.arange(
+                max(total, 2 * len(self._iota)), dtype=np.int64
+            )
+        cum = np.cumsum(cnt)
+        # iota - repeat(exclusive-cumsum - start): one repeat pass instead
+        # of two, and the iota ramp is a cached slice, not a fresh arange.
+        idx = self._iota[:total] - np.repeat(cum - cnt - start, cnt)
+        return np.repeat(varr, cnt), self._csr_targets[idx]
+
+    # ------------------------------------------------------------------
+    # Array-in/array-out round kernels
+    # ------------------------------------------------------------------
+    def bulk_inv1_violators_arr(self, cands: np.ndarray) -> np.ndarray:
+        """Array version of :meth:`bulk_inv1_violators` (sorted input stays
+        sorted — the mask preserves order)."""
+        if _OBS.enabled:
+            _K_INV1.inc()
+            _K_ROWS.inc(int(cands.size))
+        lv = self._level_arr[cands]
+        viol = (lv < self.params.max_level) & (self.up_deg[cands] > self._upper[lv])
+        return cands[viol]
+
+    def bulk_desire_levels_arr(
+        self, cands: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array version of :meth:`bulk_desire_levels`: ``(violators,
+        desires)`` with the violators in input order.
+
+        The desire level — the highest ``d <= ℓ(v)`` whose neighbour count
+        ``up_deg + Σ_{j >= d-1} down[j]`` meets ``lower_threshold(d)`` — is
+        computed for all violators at once from a reversed-cumsum suffix
+        matrix, replacing the per-vertex descending Python scan.
+        """
+        if _OBS.enabled:
+            _K_DESIRE.inc()
+            _K_ROWS.inc(int(cands.size))
+        lv = self._level_arr[cands]
+        positive = lv > 0
+        below = np.where(positive, lv - 1, 0)
+        cnt0 = self.up_deg[cands] + np.where(positive, self.down[cands, below], 0)
+        viol = positive & (cnt0 < self._lower[lv])
+        v = cands[viol]
+        if v.size == 0:
+            return v, np.empty(0, dtype=np.int64)
+        lvl_v = lv[viol]
+        width = self._width
+        rows = self.down[v]
+        # suffix[:, j] = Σ_{k >= j} rows[:, k]; padded with a zero column at
+        # index `width` so `d - 1 >= width` contributes nothing.
+        suffix = np.zeros((len(v), width + 1), dtype=np.int64)
+        suffix[:, :width] = rows[:, ::-1].cumsum(axis=1)[:, ::-1]
+        d = np.arange(1, int(lvl_v.max()) + 1, dtype=np.int64)
+        cnt = self.up_deg[v][:, None] + suffix[:, np.minimum(d - 1, width)]
+        feasible = (cnt >= self._lower[d][None, :]) & (d[None, :] <= lvl_v[:, None])
+        desire = np.where(feasible, d[None, :], 0).max(axis=1)
+        return v, desire
+
+    def bulk_raise_level_rows(
+        self, movers: np.ndarray, old: int, src: np.ndarray, flat: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`bulk_raise_level` fed by pre-gathered CSR rows; returns
+        the requeue set (non-mover neighbours at the destination level) as
+        a sorted array."""
+        new = old + 1
+        self._ensure_width(new)
+        if _OBS.enabled:
+            _K_RAISE.inc()
+            _K_ROWS.inc(int(movers.size))
+        requeue = np.empty(0, dtype=np.int64)
+        if flat.size:
+            stamp = self._stamp
+            stamp[movers] = True
+            keep = ~stamp[flat]
+            stamp[movers] = False
+            f = flat[keep]
+            s = src[keep]
+            lw = self._level_arr[f]
+            at_old = lw == old
+            if at_old.any():
+                np.add.at(self.up_deg, s[at_old], -1)
+                np.add.at(self.down[:, old], s[at_old], 1)
+            # Neighbours at >= new all leave v's down[old] class …
+            not_below = lw >= new
+            if not_below.any():
+                np.add.at(self.down[:, old], f[not_below], -1)
+            # … landing in up_deg (== new) or down[new] (> new).
+            at_new = lw == new
+            if at_new.any():
+                t = f[at_new]
+                np.add.at(self.up_deg, t, 1)
+                requeue = np.unique(t)
+            above = lw > new
+            if above.any():
+                np.add.at(self.down[:, new], f[above], 1)
+        self._level_arr[movers] = new
+        level = self.level
+        for v in movers.tolist():
+            level[v] = new
+        return requeue
+
+    def bulk_move_to_level_rows(
+        self, movers: np.ndarray, lstar: int, src: np.ndarray, flat: np.ndarray
+    ) -> None:
+        """Move every mover to ``lstar`` (a strict down-move) in one scatter
+        pass over the pre-gathered rows.
+
+        Counter state is a pure function of the final levels, so each row
+        (``v=src[i]`` mover, ``w=flat[i]``) contributes a remove-old-class /
+        add-new-class delta to ``v``'s ledger and — for non-mover ``w`` — to
+        ``w``'s view of ``v``; mover–mover edges appear as two rows, one per
+        direction, and intermediate cancellations are harmless under
+        ``np.add.at``.  Equivalent to interleaved :meth:`set_level` calls;
+        the live level list is written last.
+        """
+        self._ensure_width(lstar)
+        if _OBS.enabled:
+            _K_MOVE.inc()
+            _K_ROWS.inc(int(movers.size))
+        if flat.size:
+            stamp = self._stamp
+            stamp[movers] = True
+            w_moves = stamp[flat]
+            stamp[movers] = False
+            lw_old = self._level_arr[flat]
+            old_src = self._level_arr[src]
+            lw_new = np.where(w_moves, lstar, lw_old)
+            # v's ledger: remove w's old class, add its new class.
+            old_up = lw_old >= old_src
+            np.add.at(self.up_deg, src[old_up], -1)
+            dn = ~old_up
+            np.add.at(self.down, (src[dn], lw_old[dn]), -1)
+            new_up = lw_new >= lstar
+            np.add.at(self.up_deg, src[new_up], 1)
+            dn = ~new_up
+            np.add.at(self.down, (src[dn], lw_new[dn]), 1)
+            # Non-mover w's view of v (mover w rows are covered by their own
+            # symmetric row).
+            nm = ~w_moves
+            t = flat[nm]
+            ov = old_src[nm]
+            lw = lw_old[nm]
+            was_up = ov >= lw
+            np.add.at(self.up_deg, t[was_up], -1)
+            np.add.at(self.down, (t[~was_up], ov[~was_up]), -1)
+            is_up = lstar >= lw
+            np.add.at(self.up_deg, t[is_up], 1)
+            np.add.at(self.down[:, lstar], t[~is_up], 1)
+        self._level_arr[movers] = lstar
+        level = self.level
+        for v in movers.tolist():
+            level[v] = lstar
+
+
 def make_store(
     backend: str, graph: DynamicGraph, params: LDSParams
 ) -> LevelStore:
@@ -622,6 +964,8 @@ def make_store(
         return ObjectLevelStore(graph, params)
     if backend == "columnar":
         return ColumnarLevelStore(graph, params)
+    if backend == "columnar-frontier":
+        return FrontierLevelStore(graph, params)
     raise ValueError(
         f"unknown level-store backend {backend!r} (available: {BACKENDS})"
     )

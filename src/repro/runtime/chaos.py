@@ -315,7 +315,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--start", type=int, default=0,
                         help="first seed of the sweep")
     parser.add_argument("--backend", default="object",
-                        help="level-store backend (object | columnar)")
+                        help="level-store backend (object | columnar | columnar-frontier)")
     args = parser.parse_args(argv)
     results = run_sweep(
         range(args.start, args.start + args.seeds), backend=args.backend

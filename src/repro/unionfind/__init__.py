@@ -10,16 +10,22 @@ ConnectIt).  This package provides:
   path compression (reference semantics and a baseline);
 * :mod:`repro.unionfind.concurrent` — a CAS-loop union-find safe under
   concurrent ``union``/``find`` callers, with deterministic min-id roots,
-  exactly the linking discipline the CPLDS descriptor DAGs use.
+  exactly the linking discipline the CPLDS descriptor DAGs use;
+* :mod:`repro.unionfind.vectorized` — a numpy parent forest with batched
+  ``find_many`` (vectorized path halving) and ``union_pairs`` (grouped
+  sort + reduceat linking), used by the ``columnar-frontier`` engine to
+  merge a whole batch of dependency-DAG edges in a handful of array passes.
 """
 
 from repro.unionfind.atomics import AtomicCell, AtomicCounter
 from repro.unionfind.sequential import SequentialUnionFind
 from repro.unionfind.concurrent import ConcurrentUnionFind
+from repro.unionfind.vectorized import VectorizedUnionFind
 
 __all__ = [
     "AtomicCell",
     "AtomicCounter",
     "SequentialUnionFind",
     "ConcurrentUnionFind",
+    "VectorizedUnionFind",
 ]

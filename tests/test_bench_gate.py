@@ -127,14 +127,14 @@ def test_cli_warn_only_overrides_failure(tmp_path, capsys):
 
 
 def test_checked_in_baseline_has_metrics():
-    """The repo's own BENCH_pr4.json must carry the work-counter section
-    the CI gate depends on, for both backends."""
+    """The repo's own BENCH_pr6.json must carry the work-counter section
+    the CI gate depends on, for every backend."""
     import os
 
-    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr4.json")
+    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr6.json")
     with open(path) as fh:
         doc = json.load(fh)
-    for backend in ("object", "columnar"):
+    for backend in ("object", "columnar", "columnar-frontier"):
         work = doc["metrics"][backend]["work"]
         for name in WORK_COUNTERS:
             assert isinstance(work[name], int) and work[name] >= 0

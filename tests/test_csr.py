@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import VertexOutOfRange
 from repro.graph import CSRGraph, DynamicGraph
+from repro.graph.csr import csr_view
 
 
 class TestConstruction:
@@ -62,3 +63,38 @@ class TestAccessors:
         csr = CSRGraph.from_dynamic(g)
         g.insert_edge(1, 2)
         assert csr.num_edges == 1
+
+
+class TestCachedView:
+    def test_same_object_until_mutation(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2)])
+        first = csr_view(g)
+        assert csr_view(g) is first
+        assert csr_view(g).targets is first.targets
+
+    def test_mutation_invalidates(self):
+        g = DynamicGraph(4, [(0, 1)])
+        before = csr_view(g)
+        g.insert_edge(1, 2)
+        after = csr_view(g)
+        assert after is not before
+        assert after.num_edges == 2
+        assert before.num_edges == 1  # the old snapshot stays frozen
+        # And the new snapshot is itself cached.
+        assert csr_view(g) is after
+
+    def test_no_op_mutation_keeps_cache(self):
+        g = DynamicGraph(4, [(0, 1)])
+        version = g.version
+        before = csr_view(g)
+        g.insert_edge(0, 1)  # duplicate: edge set (and version) unchanged
+        assert g.version == version
+        assert csr_view(g) is before
+
+    def test_delete_invalidates(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2)])
+        before = csr_view(g)
+        g.delete_edge(0, 1)
+        after = csr_view(g)
+        assert after is not before
+        assert after.num_edges == 1
