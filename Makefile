@@ -26,23 +26,23 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr6.json
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
 
 bench-full:
 	REPRO_BENCH_CONFIG=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
-	$(PYTHON) -m repro.harness.bench_json --full -o BENCH_pr6.json
+	$(PYTHON) -m repro.harness.bench_json --full -o BENCH_pr7.json
 
 bench-json:
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr6.json
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
 
 # Refresh the checked-in bench-gate baseline (commit the result).
 bench-baseline:
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr6.json
+	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
 
 # What CI's bench-gate job runs: fresh candidate vs checked-in baseline.
 bench-gate:
 	$(PYTHON) -m repro.harness.bench_json -o /tmp/bench_candidate.json
-	$(PYTHON) -m repro.harness.bench_gate --baseline BENCH_pr6.json --candidate /tmp/bench_candidate.json
+	$(PYTHON) -m repro.harness.bench_gate --baseline BENCH_pr7.json --candidate /tmp/bench_candidate.json
 
 reproduce:
 	$(PYTHON) -m repro.harness.run_all

@@ -5,35 +5,65 @@ Shape checks (the paper's findings at reproduction scale):
 * CPLDS read latency is orders of magnitude below SyncReads (paper: up to
   4.05e5x on 10^6-edge batches; the factor scales with batch duration);
 * CPLDS stays within a small constant factor of NonSync (paper: <= 3.21x).
+
+De-noising: each phase's warmup batches are trimmed
+(``warmup_fraction=0.1``; see :func:`repro.harness.stats.trim_warmup` for
+why) and the whole driver is repeated ``_TRIALS`` times, with the shape
+assertions made on the *median* per-(dataset, impl, phase) mean — one
+perturbed trial (GC pause, scheduler interference) cannot flip the gate.
 """
 
 from repro.harness import experiments as E
 from repro.harness import report as R
+from repro.harness.stats import median_of_trials
+
+#: Repeated-trial count for the medianized shape checks.
+_TRIALS = 3
 
 
 def test_fig3_read_latency(benchmark, backend_config, emit):
-    config = backend_config
-    rows = benchmark.pedantic(E.fig3, args=(config,), rounds=1, iterations=1)
+    config = backend_config.with_(warmup_fraction=0.1)
+    trials: list[list[E.LatencyRow]] = []
+
+    def run_once():
+        rows = E.fig3(config)
+        trials.append(rows)
+        return rows
+
+    benchmark.pedantic(run_once, rounds=_TRIALS, iterations=1)
     emit(
-        f"Fig 3: read latency by implementation [{config.backend}]",
-        R.render_fig3(rows),
+        f"Fig 3: read latency by implementation [{config.backend}] "
+        f"(median of {_TRIALS} trials, warmup trimmed)",
+        R.render_fig3(trials[0]),
     )
 
-    by = {(r.dataset, r.impl, r.phase): r.stats for r in rows}
+    # Median of per-trial means for every (dataset, impl, phase) present
+    # in all trials — the de-noised aggregate the shape checks run on.
+    per_key: dict[tuple, list[float]] = {}
+    for rows in trials:
+        for r in rows:
+            per_key.setdefault((r.dataset, r.impl, r.phase), []).append(
+                r.stats.mean
+            )
+    by = {
+        key: median_of_trials(means)
+        for key, means in per_key.items()
+        if len(means) == _TRIALS
+    }
     checked_sync = checked_nonsync = 0
-    for (dataset, impl, phase), stats in by.items():
+    for (dataset, impl, phase), mean in by.items():
         if impl != "cplds":
             continue
         sync = by.get((dataset, "syncreads", phase))
         if sync is not None:
-            assert sync.mean > 20 * stats.mean, (
-                f"{dataset}/{phase}: SyncReads mean {sync.mean} not ≫ "
-                f"CPLDS mean {stats.mean}"
+            assert sync > 20 * mean, (
+                f"{dataset}/{phase}: SyncReads median mean {sync} not ≫ "
+                f"CPLDS median mean {mean}"
             )
             checked_sync += 1
         nonsync = by.get((dataset, "nonsync", phase))
         if nonsync is not None:
-            assert stats.mean <= 12 * nonsync.mean, (
+            assert mean <= 12 * nonsync, (
                 f"{dataset}/{phase}: CPLDS read overhead vs NonSync "
                 f"exceeded 12x"
             )

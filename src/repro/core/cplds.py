@@ -36,12 +36,20 @@ from repro.errors import ReproError
 from repro.lds.params import LDSParams
 from repro.lds.plds import PLDS, Phase, UpdateHooks
 from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
+from repro.obs.staleness import (
+    READS_DESCRIPTOR as _READS_DESCRIPTOR,
+    READS_LIVE as _READS_LIVE,
+    STALENESS_EPOCHS as _STALENESS,
+)
 from repro.runtime.executor import Executor
 from repro.types import Edge, Vertex
 
 # Cached metric handles (see docs/observability.md).  The success path of
-# :meth:`CPLDS.read` is deliberately *not* instrumented — only the retry
-# branch reports, so an uncontended read costs exactly what it did before.
+# :meth:`CPLDS.read` carries exactly one ``_OBS.enabled`` branch, tagging
+# the read live (0 epochs behind) or descriptor (1 epoch behind); per-read
+# flight-recorder events are confined to :meth:`CPLDS.read_verbose` and the
+# retry branch so the uncontended hot path stays lean.
 _MARKED = _OBS.counter("cplds_marked_total")
 _DAGS = _OBS.counter("cplds_dags_total")
 _BATCHES = _OBS.counter("cplds_batches_total")
@@ -82,6 +90,13 @@ class _MarkingHooks(UpdateHooks):
         # Incremented at the start of every batch (Algorithm 1).  A plain
         # int increment on the update thread; reader loads are GIL-atomic.
         cp.batch_number += 1
+        if _REC.enabled:
+            _REC.record(
+                _EV.BATCH_BEGIN,
+                cp.batch_number,
+                0 if kind == "insert" else 1,
+                len(edges),
+            )
         partners: dict[Vertex, list[Vertex]] = {}
         for u, v in edges:
             partners.setdefault(u, []).append(v)
@@ -132,6 +147,14 @@ class _MarkingHooks(UpdateHooks):
             _BATCHES.inc()
             _MARKED.inc(cp.last_batch_marked)
             _DAGS.inc(cp.last_batch_dags)
+        if _REC.enabled:
+            _REC.record(
+                _EV.BATCH_END,
+                cp.batch_number,
+                cp.last_batch_marked,
+                cp.last_batch_dags,
+                cp.plds.last_batch_moves,
+            )
         cp.descriptors.unmark_all(cp.plds.executor.run_round)
         cp._batch_partners = {}
 
@@ -261,8 +284,10 @@ class CPLDS:
         """Linearizable coreness estimate of ``v`` (Algorithm 4).
 
         The hot path: identical protocol to :meth:`read_verbose` but with no
-        per-read allocation (no telemetry record) — a table lookup away from
-        NonSync's cost once the sandwich passes.
+        per-read allocation (no :class:`ReadResult`) — a table lookup away
+        from NonSync's cost once the sandwich passes.  While observability
+        is on, the success path tags the read's staleness class (live = 0
+        epochs behind, descriptor = 1); disabled, it costs one branch.
         """
         level = self.plds.state.level
         slots = self.descriptors.slots
@@ -278,12 +303,20 @@ class CPLDS:
             b2 = self.batch_number
             if b1 == b2:
                 if marked:
+                    if _OBS.enabled:
+                        _READS_DESCRIPTOR.inc()
+                        _STALENESS.observe(1)
                     return estimates[desc.old_level]  # type: ignore[union-attr]
                 if l1 == l2:
+                    if _OBS.enabled:
+                        _READS_LIVE.inc()
+                        _STALENESS.observe(0)
                     return estimates[l1]
             retries += 1
             if _OBS.enabled:
                 _READ_RETRIES.inc()
+            if _REC.enabled:
+                _REC.record(_EV.READ_RETRY, v, b1, b2, retries)
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
@@ -334,6 +367,8 @@ class CPLDS:
                     )
                     break
             retries += 1
+            if _REC.enabled:
+                _REC.record(_EV.READ_RETRY, v, b1, b2, retries)
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
@@ -341,9 +376,23 @@ class CPLDS:
                 )
         if _OBS.enabled:
             _READS_VERBOSE.inc()
+            if result.from_descriptor:
+                _READS_DESCRIPTOR.inc()
+                _STALENESS.observe(1)
+            else:
+                _READS_LIVE.inc()
+                _STALENESS.observe(0)
             if retries:
                 _READ_RETRIES.inc(retries)
                 _RETRY_HIST.observe(retries)
+        if _REC.enabled:
+            _REC.record(
+                _EV.READ_OK,
+                v,
+                result.batch,
+                1 if result.from_descriptor else 0,
+                retries,
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -57,6 +57,12 @@ from repro.core.cplds import (
 from repro.errors import ReproError
 from repro.lds.plds import PLDS, Phase, UpdateHooks, _noop
 from repro.obs import REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
+from repro.obs.staleness import (
+    READS_DESCRIPTOR as _READS_DESCRIPTOR,
+    READS_LIVE as _READS_LIVE,
+    STALENESS_EPOCHS as _STALENESS,
+)
 from repro.runtime.executor import Executor, SequentialExecutor
 from repro.types import Edge, Vertex
 from repro.unionfind.vectorized import VectorizedUnionFind
@@ -304,6 +310,13 @@ class FrontierMarkingHooks(UpdateHooks):
         cp = self.cp
         self._phase = kind
         cp.batch_number += 1
+        if _REC.enabled:
+            _REC.record(
+                _EV.BATCH_BEGIN,
+                cp.batch_number,
+                0 if kind == "insert" else 1,
+                len(edges),
+            )
         self._edges = edges
         self._pair_chunks.clear()
         self._pairs_scalar.clear()
@@ -412,6 +425,10 @@ class FrontierMarkingHooks(UpdateHooks):
             # union cost scales with the pair count, not the edge count.
             key = np.unique(np.minimum(a, b) * np.int64(marked.shape[0]) + np.maximum(a, b))
             uf.union_pairs(key // marked.shape[0], key % marked.shape[0])
+            if _REC.enabled:
+                # One grouped event per phase-end union (the object engine
+                # emits one per CAS link): root=-1, merged=deduped pair count.
+                _REC.record(_EV.DAG_MERGE, -1, int(key.size))
         marked_idx = np.flatnonzero(marked)
         roots = uf.find_many(marked_idx)
         cp.last_batch_marked = int(marked_idx.size)
@@ -423,6 +440,14 @@ class FrontierMarkingHooks(UpdateHooks):
             _BATCHES.inc()
             _MARKED.inc(cp.last_batch_marked)
             _DAGS.inc(cp.last_batch_dags)
+        if _REC.enabled:
+            _REC.record(
+                _EV.BATCH_END,
+                cp.batch_number,
+                cp.last_batch_marked,
+                cp.last_batch_dags,
+                cp.plds.last_batch_moves,
+            )
         # Same executor accounting as DescriptorTable.unmark_all's three
         # parfor rounds (classify / clear roots / clear rest).
         executor = cp.plds.executor
@@ -505,12 +530,20 @@ class FrontierCPLDS(CPLDS):
             b2 = self.batch_number
             if b1 == b2:
                 if in_dag:
+                    if _OBS.enabled:
+                        _READS_DESCRIPTOR.inc()
+                        _STALENESS.observe(1)
                     return estimates[int(old_level[v])]
                 if l1 == l2:
+                    if _OBS.enabled:
+                        _READS_LIVE.inc()
+                        _STALENESS.observe(0)
                     return estimates[l1]
             retries += 1
             if _OBS.enabled:
                 _READ_RETRIES.inc()
+            if _REC.enabled:
+                _REC.record(_EV.READ_RETRY, v, b1, b2, retries)
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
@@ -558,6 +591,8 @@ class FrontierCPLDS(CPLDS):
                     )
                     break
             retries += 1
+            if _REC.enabled:
+                _REC.record(_EV.READ_RETRY, v, b1, b2, retries)
             if retries > self.max_read_retries:
                 raise ReproError(
                     f"read({v}) exceeded {self.max_read_retries} retries; "
@@ -565,9 +600,23 @@ class FrontierCPLDS(CPLDS):
                 )
         if _OBS.enabled:
             _READS_VERBOSE.inc()
+            if result.from_descriptor:
+                _READS_DESCRIPTOR.inc()
+                _STALENESS.observe(1)
+            else:
+                _READS_LIVE.inc()
+                _STALENESS.observe(0)
             if retries:
                 _READ_RETRIES.inc(retries)
                 _RETRY_HIST.observe(retries)
+        if _REC.enabled:
+            _REC.record(
+                _EV.READ_OK,
+                v,
+                result.batch,
+                1 if result.from_descriptor else 0,
+                retries,
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro.core.descriptor import Descriptor, I_AM_ROOT, UNMARKED
 from repro.obs import REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
 from repro.unionfind.atomics import stripe_lock_for
 
 #: check_DAG results (kept as module constants to mirror the pseudocode).
@@ -134,8 +135,11 @@ class DescriptorTable:
             for rid in ordered[1:]:
                 if not _cas_parent(roots[rid], I_AM_ROOT, winner.vertex):
                     contended = True  # concurrent link; re-find everything
-                elif _OBS.enabled:
-                    _MERGES.inc()
+                else:
+                    if _OBS.enabled:
+                        _MERGES.inc()
+                    if _REC.enabled:
+                        _REC.record(_EV.DAG_MERGE, winner.vertex, rid)
             if not contended:
                 # `winner` may itself have been linked concurrently since,
                 # but any member of the merged DAG is a valid attachment

@@ -13,6 +13,13 @@ the checked-in baseline and decides pass/fail:
   machine-dependent, so they are **warn-only**: a deviation beyond
   ``--tolerance`` (default ±25%) prints a warning and never fails the
   gate.
+* **SLO budgets** (``backends.<b>.staleness`` — staleness-epoch p99,
+  descriptor-read fraction, retries per read) are likewise **warn-only**:
+  a candidate spending noticeably more of a staleness/retry budget than
+  the baseline, losing the section entirely, or carrying a FAIL verdict
+  in its embedded SLO report prints a warning.  Retry counts are
+  contention-timing-dependent, so these can never hard-fail; baselines
+  predating the staleness section are skipped silently.
 
 Intentional work-counter changes (an algorithmic improvement that legally
 shifts rounds/moves) are landed by regenerating the baseline in the same
@@ -24,7 +31,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.harness.bench_json -o /tmp/candidate.json
     PYTHONPATH=src python -m repro.harness.bench_gate \
-        --baseline BENCH_pr6.json --candidate /tmp/candidate.json
+        --baseline BENCH_pr7.json --candidate /tmp/candidate.json
 """
 
 from __future__ import annotations
@@ -40,6 +47,18 @@ _WALL_CLOCK_FIELDS = (
     ("fig5_batch_time_s", ("fig5", "cplds_median_batch_time_s")),
     ("fig3_read_latency_s", ("fig3", "cplds_median_read_latency_s")),
 )
+
+#: SLO-budget fields from ``backends.<b>.staleness`` compared (warn-only).
+_SLO_BUDGET_FIELDS = (
+    "staleness_epochs_p99",
+    "descriptor_read_fraction",
+    "retries_per_read",
+)
+
+#: Absolute slack added to the relative SLO-budget tolerance so a
+#: near-zero baseline (e.g. retries_per_read = 0.0001) does not warn on
+#: every tiny absolute wiggle.
+_SLO_SLACK = 0.01
 
 
 @dataclass
@@ -64,6 +83,63 @@ def _backend_work(doc: dict, backend: str) -> dict | None:
         return None
     work = entry.get("work")
     return work if isinstance(work, dict) else None
+
+
+def _backend_staleness(doc: dict, backend: str) -> dict | None:
+    entry = doc.get("backends", {}).get(backend)
+    if not isinstance(entry, dict):
+        return None
+    stale = entry.get("staleness")
+    return stale if isinstance(stale, dict) else None
+
+
+def _check_slo_budgets(
+    result: "GateResult",
+    backend: str,
+    base_st: dict | None,
+    cand_st: dict | None,
+    tolerance: float,
+) -> None:
+    """Warn-only SLO-budget comparison for one backend.
+
+    A baseline without a staleness section predates the accounting —
+    nothing to compare, skip silently.  A *candidate* without one while
+    the baseline has it means the accounting was dropped: warn.
+    """
+    if base_st is None:
+        return
+    if cand_st is None:
+        result.warnings.append(
+            f"[{backend}] candidate lost the staleness section the "
+            "baseline carries (accounting disabled?)"
+        )
+        return
+    for name in _SLO_BUDGET_FIELDS:
+        base = base_st.get(name)
+        cand = cand_st.get(name)
+        if not isinstance(base, (int, float)) or not isinstance(
+            cand, (int, float)
+        ):
+            continue  # None = no data on that side; nothing to budget
+        budget = base * (1.0 + tolerance) + _SLO_SLACK
+        if cand > budget:
+            result.warnings.append(
+                f"[{backend}] SLO budget {name} over baseline: "
+                f"{base:.6g} -> {cand:.6g} "
+                f"(budget {budget:.6g}; warn-only)"
+            )
+    slo = cand_st.get("slo")
+    if isinstance(slo, dict) and slo.get("status") == "FAIL":
+        failing = [
+            v.get("name")
+            for v in slo.get("verdicts", [])
+            if isinstance(v, dict) and v.get("status") == "FAIL"
+        ]
+        result.warnings.append(
+            f"[{backend}] candidate SLO report is FAIL "
+            f"({', '.join(str(n) for n in failing) or 'unknown target'}; "
+            "warn-only)"
+        )
 
 
 def _wall_clock(doc: dict, backend: str, path: tuple[str, str]) -> float | None:
@@ -133,6 +209,14 @@ def compare(
                     f"{(ratio - 1.0) * 100:+.1f}% "
                     f"({base_t:.6g}s -> {cand_t:.6g}s; warn-only)"
                 )
+
+        _check_slo_budgets(
+            result,
+            backend,
+            _backend_staleness(baseline, backend),
+            _backend_staleness(candidate, backend),
+            tolerance,
+        )
     return result
 
 

@@ -53,6 +53,9 @@ class ExperimentConfig:
     #: Level-store backend every impl is built on
 #: (``"object"`` | ``"columnar"`` | ``"columnar-frontier"``).
     backend: str = "object"
+    #: Fraction of each phase's leading batches whose in-flight reads are
+    #: trimmed as warmup before latency aggregation (Fig 3).  0 disables.
+    warmup_fraction: float = 0.0
 
     def with_(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)
@@ -137,13 +140,37 @@ class LatencyRow:
     stats: LatencyStats
 
 
+def _warmup_skip_batches(
+    batch_kinds: Sequence[str], fraction: float
+) -> frozenset[int]:
+    """1-based batch numbers trimmed as warmup.
+
+    Per phase (not globally): the first ``fraction`` of each phase's
+    batches.  A global prefix trim would only touch insertions — the
+    deletion phase has its own cold start when the stream flips over.
+    """
+    if fraction <= 0.0:
+        return frozenset()
+    by_phase: dict[str, list[int]] = {}
+    for i, kind in enumerate(batch_kinds):
+        by_phase.setdefault(kind, []).append(i + 1)
+    skip: set[int] = set()
+    for numbers in by_phase.values():
+        skip.update(numbers[: int(len(numbers) * fraction)])
+    return frozenset(skip)
+
+
 def _split_latencies_by_phase(
-    session_reads, batch_kinds: Sequence[str]
+    session_reads,
+    batch_kinds: Sequence[str],
+    skip_batches: frozenset[int] = frozenset(),
 ) -> dict[str, list[float]]:
     """Bucket in-flight read latencies by the kind of their claimed batch."""
     out: dict[str, list[float]] = {"insert": [], "delete": []}
     for sample in session_reads:
         if not sample.in_flight:
+            continue
+        if sample.batch in skip_batches:
             continue
         idx = sample.batch - 1  # batch numbers are 1-based
         if 0 <= idx < len(batch_kinds):
@@ -161,6 +188,7 @@ def fig3(config: ExperimentConfig = QUICK) -> list[LatencyRow]:
         for trial in range(config.trials):
             stream = make_stream(name, config, trial)
             kinds = stream.kinds()
+            skip = _warmup_skip_batches(kinds, config.warmup_fraction)
             for impl_kind in IMPLS:
                 impl = make_impl(impl_kind, stream.num_vertices, config)
                 session = run_concurrent_session(
@@ -170,7 +198,9 @@ def fig3(config: ExperimentConfig = QUICK) -> list[LatencyRow]:
                     reader_seed=config.seed + trial,
                     name=f"{name}:{impl_kind}",
                 )
-                buckets = _split_latencies_by_phase(session.reads, kinds)
+                buckets = _split_latencies_by_phase(
+                    session.reads, kinds, skip_batches=skip
+                )
                 for phase in ("insert", "delete"):
                     per_impl[impl_kind][phase].extend(buckets[phase])
         for impl_kind in IMPLS:

@@ -14,6 +14,40 @@ from dataclasses import dataclass
 from typing import Sequence
 
 
+def trim_warmup(
+    samples: Sequence[float], fraction: float, min_keep: int = 1
+) -> list[float]:
+    """Drop the first ``fraction`` of ``samples`` (warmup transient).
+
+    The first batches of every run hit cold caches, an empty level
+    structure and the allocator's growth path; their latencies are not
+    representative of steady state and dominate the p99.99 of short runs.
+    Always keeps at least ``min_keep`` samples so downstream aggregates
+    never see an empty set.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    drop = min(int(len(samples) * fraction), max(len(samples) - min_keep, 0))
+    return list(samples[drop:])
+
+
+def median_of_trials(values: Sequence[float]) -> float:
+    """Median over repeated trials of the same aggregate.
+
+    The standard de-noising step for wall-clock aggregates: the median of
+    per-trial means is robust to one trial being perturbed (GC pause,
+    scheduler interference) in a way the pooled mean is not.
+    """
+    if not values:
+        raise ValueError("median_of_trials of empty trial set")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
 def percentile(samples: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile of ``samples`` (``pct`` in [0, 100]).
 

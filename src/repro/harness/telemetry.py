@@ -190,6 +190,10 @@ class ServiceTelemetry:
     checkpoints_rejected: int = 0
     journal_records: int = 0
     stale_reads: int = 0
+    #: Largest snapshot age (in batch epochs) any stale read was served at.
+    #: A max, not a counter — kept out of ``_SERVICE_COUNTER_FIELDS`` and
+    #: mirrored as the gauge ``service_stale_read_age_epochs_max`` instead.
+    stale_read_max_age: int = 0
     #: Health state machine audit log: (from-state, to-state) names.
     transitions: list[tuple[str, str]] = field(default_factory=list)
 
@@ -202,6 +206,13 @@ class ServiceTelemetry:
             if delta > 0:
                 _SERVICE_COUNTERS[name].inc(delta)
         object.__setattr__(self, name, value)
+
+    def note_stale_read_age(self, age: int) -> None:
+        """Track the worst snapshot age served to a degraded read."""
+        if age > self.stale_read_max_age:
+            self.stale_read_max_age = age
+            if _OBS.enabled:
+                _OBS.set_gauge("service_stale_read_age_epochs_max", age)
 
     def record_transition(self, old: str, new: str) -> None:
         """Append one health transition to the audit log."""
@@ -225,6 +236,7 @@ class ServiceTelemetry:
             "checkpoints_rejected": self.checkpoints_rejected,
             "journal_records": self.journal_records,
             "stale_reads": self.stale_reads,
+            "stale_read_max_age": self.stale_read_max_age,
             "transitions": len(self.transitions),
         }
 

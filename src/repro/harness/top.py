@@ -1,0 +1,169 @@
+"""repro-top: a live terminal view of the observability stack.
+
+One screen combining the three observability surfaces of ``repro.obs``:
+
+* the **metrics registry** — key pipeline counters and gauges;
+* the **SLO state** — :data:`repro.obs.staleness.DEFAULT_SLOS` evaluated
+  against the live registry into PASS/WARN/FAIL verdicts;
+* the **flight-recorder tail** — the most recent typed events.
+
+Run ``repro-top --demo`` (or ``python -m repro.harness.top --demo``) to
+watch a seeded workload drive the whole stack; embed :func:`render` to
+print the same screen from any process that has the registry enabled.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.obs import staleness
+from repro.obs.flightrec import FlightRecorder, format_event
+from repro.obs.registry import MetricsRegistry
+
+#: Counters surfaced in the key-metrics panel, in display order.
+_KEY_COUNTERS = (
+    "cplds_batches_total",
+    "plds_moves_total",
+    "plds_rounds_total",
+    "cplds_marked_total",
+    "cplds_dags_total",
+    "cplds_reads_live_total",
+    "cplds_reads_descriptor_total",
+    "cplds_read_retries_total",
+    "coordinator_batches_total",
+    "coordinator_updates_total",
+    "service_recoveries_total",
+    "service_stale_reads_total",
+)
+
+
+def render(
+    registry: MetricsRegistry | None = None,
+    recorder: FlightRecorder | None = None,
+    tail: int = 12,
+) -> str:
+    """The repro-top screen as a string (no terminal control codes)."""
+    from repro.harness.report import format_table
+
+    reg = registry if registry is not None else obs.REGISTRY
+    rec = recorder if recorder is not None else obs.RECORDER
+    lines = [
+        "repro-top — batch/read pipeline observability",
+        f"registry: {'enabled' if reg.enabled else 'DISABLED'}   "
+        f"recorder: {'enabled' if rec.enabled else 'DISABLED'} "
+        f"({len(rec)}/{rec.capacity} events retained, {rec.total} lifetime)",
+        "",
+    ]
+
+    rows = [
+        (name, reg.counter_value(name))
+        for name in _KEY_COUNTERS
+        if reg.counter_value(name)
+    ]
+    lines.append("== key counters ==")
+    lines.append(format_table(["counter", "value"], rows) if rows else "(none yet)")
+    gauges = [(g.key[0], g.value) for g in reg.gauges() if g.value]
+    if gauges:
+        lines.append("")
+        lines.append("== gauges ==")
+        lines.append(format_table(["gauge", "value"], gauges))
+
+    lines.append("")
+    lines.append("== SLO state ==")
+    report = staleness.evaluate(
+        staleness.DEFAULT_SLOS, staleness.observations_from_registry(reg)
+    )
+    lines.append(report.render())
+
+    lines.append("")
+    lines.append(f"== flight recorder (last {tail}) ==")
+    events = rec.events()[-tail:]
+    if events:
+        lines.extend(format_event(e) for e in events)
+    else:
+        lines.append("(no events)")
+    return "\n".join(lines)
+
+
+def _start_demo_workload(seed: int = 7) -> "object":
+    """Background thread driving seeded batches + reads forever."""
+    import random
+    import threading
+
+    from repro.core.cplds import CPLDS
+
+    obs.enable()
+    obs.RECORDER.enable()
+    cp = CPLDS(256)
+    stop = threading.Event()
+
+    def drive() -> None:
+        rng = random.Random(seed)
+        live: set = set()
+        while not stop.is_set():
+            ins = []
+            for _ in range(rng.randint(4, 32)):
+                u, v = rng.randrange(256), rng.randrange(256)
+                if u != v and (min(u, v), max(u, v)) not in live:
+                    ins.append((min(u, v), max(u, v)))
+            dels = rng.sample(sorted(live), min(len(live), rng.randint(0, 8)))
+            cp.apply_batch(ins, dels)
+            live.update(ins)
+            live.difference_update(dels)
+            for _ in range(64):
+                cp.read_verbose(rng.randrange(256))
+            time.sleep(0.05)
+
+    thread = threading.Thread(target=drive, daemon=True, name="repro-top-demo")
+    thread.start()
+    return stop
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (the ``repro-top`` console script)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-top", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh interval in seconds")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N refreshes (0 = until interrupted)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one screen and exit")
+    parser.add_argument("--tail", type=int, default=12,
+                        help="flight-recorder events to show")
+    parser.add_argument("--demo", action="store_true",
+                        help="drive a seeded demo workload in-process")
+    args = parser.parse_args(argv)
+
+    stop: Optional[object] = None
+    if args.demo:
+        stop = _start_demo_workload()
+
+    try:
+        iteration = 0
+        while True:
+            iteration += 1
+            screen = render(tail=args.tail)
+            if args.once or args.iterations:
+                print(screen)
+            else:
+                # Clear + home; keep it plain enough for dumb terminals.
+                sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+                sys.stdout.flush()
+            if args.once or (args.iterations and iteration >= args.iterations):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if stop is not None:
+            stop.set()  # type: ignore[attr-defined]
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

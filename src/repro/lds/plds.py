@@ -34,6 +34,7 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.lds.params import LDSParams
 from repro.lds.store import LevelStore, make_store
 from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
 from repro.runtime.executor import Executor, SequentialExecutor
 from repro.types import Edge, Vertex, canonicalize_batch
 
@@ -392,6 +393,11 @@ class PLDS:
         if _OBS.enabled:
             _MOVES.inc(moved)
             _ROUNDS.inc()
+        if _REC.enabled:
+            # One event per rebalancing round; ``moved`` is the frontier size.
+            _REC.record(
+                _EV.ROUND, moved, self.last_batch_moves, self.last_batch_rounds
+            )
         if self.last_batch_moves > self._move_budget:
             raise LDSError(
                 "batch rebalance exceeded the theoretical move budget; "

@@ -29,6 +29,7 @@ import os
 from typing import Any
 
 from repro.obs import export as _export
+from repro.obs.flightrec import RECORDER, Event, EventType, FlightRecorder
 from repro.obs.registry import (
     COUNT_BUCKETS,
     TIME_BUCKETS,
@@ -44,13 +45,18 @@ __all__ = [
     "COUNT_BUCKETS",
     "TIME_BUCKETS",
     "Counter",
+    "Event",
+    "EventType",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "RECORDER",
     "REGISTRY",
     "Span",
+    "staleness",
     "counter",
     "current_span",
     "disable",
@@ -156,3 +162,9 @@ def to_prometheus(registry: MetricsRegistry | None = None) -> str:
 def render(registry: MetricsRegistry | None = None, **kwargs) -> str:
     """Human-readable export (defaults to the process-wide registry)."""
     return _export.render(registry if registry is not None else REGISTRY, **kwargs)
+
+
+# Imported last: repro.obs.staleness reads REGISTRY back from this module
+# (its handles live in the process-wide registry), so it must only load
+# once the singleton above is bound.
+from repro.obs import staleness  # noqa: E402

@@ -1,0 +1,124 @@
+"""CLI for flight-recorder dumps: ``python -m repro.obs <cmd> <file>``.
+
+Subcommands:
+
+``dump <file>``
+    Pretty-print every event in a dump (binary or JSONL, auto-detected).
+``tail <file> [-n N] [--follow]``
+    The last N events; ``--follow`` polls the file for appended/rewritten
+    content (crash dumps are written atomically, so a follow sees whole
+    files).
+``summary <file>``
+    Reconstruct and print the batch timeline
+    (:func:`repro.obs.flightrec.reconstruct_batches`) plus event-type
+    counts — the post-mortem entry point of ``docs/robustness.md``.
+
+The live counterpart (registry + SLO + recorder tail in one screen) is
+``repro-top`` (:mod:`repro.harness.top`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import os
+import sys
+import time
+from typing import List, Sequence
+
+from repro.obs import flightrec
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    events = flightrec.load(args.file)
+    for e in events:
+        print(flightrec.format_event(e))
+    print(f"# {len(events)} events")
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    def show(events: List[flightrec.Event]) -> None:
+        for e in events[-args.lines :]:
+            print(flightrec.format_event(e))
+
+    show(flightrec.load(args.file))
+    if not args.follow:
+        return 0
+    last_seen = os.stat(args.file).st_mtime_ns
+    try:
+        while True:
+            time.sleep(args.interval)
+            try:
+                stamp = os.stat(args.file).st_mtime_ns
+            except FileNotFoundError:
+                continue
+            if stamp != last_seen:
+                last_seen = stamp
+                print("---")
+                show(flightrec.load(args.file))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    events = flightrec.load(args.file)
+    counts = collections.Counter(e.type_name for e in events)
+    print(f"{args.file}: {len(events)} events")
+    for name, count in sorted(counts.items()):
+        print(f"  {name:<12} {count}")
+    timeline = flightrec.reconstruct_batches(events)
+    if not timeline:
+        print("no complete batch window in the retained tail")
+        return 0
+    print(f"batch timeline ({len(timeline)} batches):")
+    for b in timeline:
+        frontiers = ",".join(str(f) for f in b["frontiers"]) or "-"
+        status = "" if b["complete"] else "  <- IN FLIGHT AT DUMP"
+        print(
+            f"  batch {b['batch']:>5} {b['kind']:<6} edges={b['edges']:<4} "
+            f"rounds={b['rounds']:<3} moves={b['moves']:<5} "
+            f"marked={b['marked'] if b['marked'] is not None else '?':<5} "
+            f"dags={b['dags'] if b['dags'] is not None else '?':<4} "
+            f"frontiers=[{frontiers}]{status}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect flight-recorder dump files.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_dump = sub.add_parser("dump", help="print every event in a dump")
+    p_dump.add_argument("file")
+    p_dump.set_defaults(fn=_cmd_dump)
+
+    p_tail = sub.add_parser("tail", help="print the last N events")
+    p_tail.add_argument("file")
+    p_tail.add_argument("-n", "--lines", type=int, default=20)
+    p_tail.add_argument("--follow", action="store_true",
+                        help="re-print when the file changes")
+    p_tail.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval for --follow (seconds)")
+    p_tail.set_defaults(fn=_cmd_tail)
+
+    p_sum = sub.add_parser(
+        "summary", help="event counts + reconstructed batch timeline"
+    )
+    p_sum.add_argument("file")
+    p_sum.set_defaults(fn=_cmd_summary)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.fn(args))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

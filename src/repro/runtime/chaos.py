@@ -30,6 +30,7 @@ from typing import Sequence
 
 from repro.core.cplds import CPLDS
 from repro.lds.plds import Phase, UpdateHooks
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
 from repro.runtime.inject import HookChain
 from repro.runtime.supervisor import (
     AppliedRecord,
@@ -110,6 +111,10 @@ class ChaosResult:
     #: harness's bookkeeping, and the service never needed an operator.
     converged: bool
     telemetry: dict = field(default_factory=dict)
+    #: Basenames of every flight-recorder crash dump the run produced
+    #: (empty unless ``record=True``).  Basenames, not paths, so results
+    #: stay comparable across throwaway directories.
+    crash_dumps: tuple[str, ...] = ()
 
 
 def _sample_batch(
@@ -160,6 +165,8 @@ def run_chaos(
     *,
     num_batches: int | None = None,
     backend: str = "object",
+    record: bool = False,
+    dump_dir: str | os.PathLike[str] | None = None,
 ) -> ChaosResult:
     """Execute one seeded fault schedule against a supervised service.
 
@@ -169,7 +176,40 @@ def run_chaos(
     in the module docstring.  Everything — workload, faults, recovery — is
     deterministic in ``seed``; ``backend`` picks the level-store layout
     without perturbing the schedule (rng consumption is backend-blind).
+
+    With ``record=True`` the process-wide flight recorder is cleared and
+    enabled for the duration of the run (its previous on/off state is
+    restored afterwards): every distress transition, simulated restart and
+    divergent verdict dumps the recorder tail into ``dump_dir`` (default:
+    ``journal_dir``), and the dump basenames land in
+    :attr:`ChaosResult.crash_dumps`.  Recording does not consume rng, so
+    the fault schedule is identical with and without it.
     """
+    if record:
+        was_enabled = _REC.enabled
+        _REC.clear()  # seq restarts at 0: dump names deterministic in seed
+        _REC.enable()
+        try:
+            return _run_chaos_inner(
+                seed, journal_dir,
+                num_batches=num_batches, backend=backend, dump_dir=dump_dir,
+            )
+        finally:
+            _REC.enabled = was_enabled
+    return _run_chaos_inner(
+        seed, journal_dir,
+        num_batches=num_batches, backend=backend, dump_dir=dump_dir,
+    )
+
+
+def _run_chaos_inner(
+    seed: int,
+    journal_dir: str | os.PathLike[str],
+    *,
+    num_batches: int | None = None,
+    backend: str = "object",
+    dump_dir: str | os.PathLike[str] | None = None,
+) -> ChaosResult:
     from repro import engines
 
     rng = random.Random(seed)
@@ -177,6 +217,7 @@ def run_chaos(
     batches = num_batches if num_batches is not None else rng.randint(12, 24)
     max_retries = rng.randint(1, 2)
     directory = os.fspath(journal_dir)
+    dump_root = os.fspath(dump_dir) if dump_dir is not None else directory
 
     hooks = ChaosHooks()
 
@@ -191,9 +232,11 @@ def run_chaos(
         max_retries=max_retries,
         backoff_base=0.0,
         degraded_clearance=2,
+        crash_dump_dir=dump_root,
     )
     attach(service.impl)
     service.post_restore = attach
+    crash_dumps: list[str] = []
 
     # Pre-draw the restart schedule so rng consumption stays independent of
     # outcomes: up to two simulated process crashes at fixed batch indices.
@@ -213,9 +256,13 @@ def run_chaos(
         if roll < 0.40:
             hooks.arm_crash(crash_moves, crash_times)
             crashes_armed += 1
+            if _REC.enabled:
+                _REC.record(_EV.CHAOS_FAULT, 1, crash_moves, crash_times)
         elif roll < 0.55 and ins:
             hooks.poison = {ins[poison_pick]}
             poison_edges += 1
+            if _REC.enabled:
+                _REC.record(_EV.CHAOS_FAULT, 2, poison_pick)
 
         outcome = service.apply_batch(ins, dels)
         hooks.clear()
@@ -229,14 +276,22 @@ def run_chaos(
             # Simulated process crash: no graceful close, maybe a torn /
             # truncated journal tail, maybe a corrupted newest checkpoint.
             restarts += 1
+            if _REC.enabled:
+                _REC.record(_EV.CHAOS_FAULT, 3, i)
+            crash_dumps.extend(service.crash_dumps)
             service._journal.close()
             jpath = os.path.join(directory, "journal.jsonl")
             if rng.random() < 0.6:
-                truncated_bytes += _truncate_tail(jpath, rng)
+                chop = _truncate_tail(jpath, rng)
+                truncated_bytes += chop
+                if _REC.enabled and chop:
+                    _REC.record(_EV.CHAOS_FAULT, 4, chop)
             ckpts = _list_checkpoints(directory)
             if ckpts and rng.random() < 0.5:
                 _corrupt_checkpoint(ckpts[0][1], rng)
                 checkpoints_corrupted += 1
+                if _REC.enabled:
+                    _REC.record(_EV.CHAOS_FAULT, 5, ckpts[0][0])
             service, report = SupervisedCPLDS.open(
                 directory,
                 checkpoint_every=rng.randint(2, 6),
@@ -244,9 +299,13 @@ def run_chaos(
                 max_retries=max_retries,
                 backoff_base=0.0,
                 degraded_clearance=2,
+                crash_dump_dir=dump_root,
             )
             attach(service.impl)
             service.post_restore = attach
+            # A restart is an induced failure with no health transition on
+            # the (fresh) service: dump its recovery timeline explicitly.
+            service.dump_flight_record(f"restart-{restarts}")
             # Durability contract: recovery lands on a consistent prefix.
             history = [r for r in history if r.seq <= report.recovered_through]
             live = set()
@@ -272,6 +331,11 @@ def run_chaos(
         structure_ok = False
     edges_ok = set(map(tuple, service.impl.graph.edges())) == live
     health_ok = service.health in (HealthState.HEALTHY, HealthState.DEGRADED)
+    converged = not mismatches and structure_ok and edges_ok and health_ok
+    if not converged:
+        # Divergent verdict: capture the timeline for the post-mortem.
+        service.dump_flight_record("diverged")
+    crash_dumps.extend(service.crash_dumps)
     service.close()
     return ChaosResult(
         seed=seed,
@@ -287,22 +351,51 @@ def run_chaos(
         recoveries=service.telemetry.recoveries,
         final_health=service.health.name,
         mismatches=mismatches,
-        converged=(
-            not mismatches and structure_ok and edges_ok and health_ok
-        ),
+        converged=converged,
         telemetry=service.telemetry.as_dict(),
+        crash_dumps=tuple(crash_dumps),
     )
 
 
 def run_sweep(
-    seeds: Sequence[int], *, backend: str = "object"
+    seeds: Sequence[int],
+    *,
+    backend: str = "object",
+    record: bool = False,
+    dump_dir: str | os.PathLike[str] | None = None,
 ) -> list[ChaosResult]:
-    """Run one schedule per seed (each in a throwaway directory)."""
+    """Run one schedule per seed (each in a throwaway directory).
+
+    With ``record``/``dump_dir`` set, each seed's flight-recorder crash
+    dumps land in ``<dump_dir>/seed-<NNNN>/``.
+    """
     results = []
     for seed in seeds:
+        seed_dump: str | None = None
+        if dump_dir is not None:
+            seed_dump = os.path.join(os.fspath(dump_dir), f"seed-{seed:04d}")
+            os.makedirs(seed_dump, exist_ok=True)
         with tempfile.TemporaryDirectory(prefix=f"chaos-{seed}-") as d:
-            results.append(run_chaos(seed, d, backend=backend))
+            results.append(
+                run_chaos(seed, d, backend=backend, record=record,
+                          dump_dir=seed_dump)
+            )
     return results
+
+
+def _verify_dumps(dump_dir: str, results: Sequence[ChaosResult]) -> list[str]:
+    """Parse every crash dump a sweep wrote; return unparseable paths."""
+    from repro.obs import flightrec
+
+    bad = []
+    for r in results:
+        for name in r.crash_dumps:
+            path = os.path.join(dump_dir, f"seed-{r.seed:04d}", name)
+            try:
+                flightrec.load(path)
+            except Exception:
+                bad.append(path)
+    return bad
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -316,9 +409,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="first seed of the sweep")
     parser.add_argument("--backend", default="object",
                         help="level-store backend (object | columnar | columnar-frontier)")
+    parser.add_argument("--record", action="store_true",
+                        help="enable the flight recorder; dump on every "
+                             "induced failure")
+    parser.add_argument("--dump-dir", default=None,
+                        help="directory for flight-recorder crash dumps "
+                             "(per-seed subdirectories; implies --record)")
     args = parser.parse_args(argv)
+    record = args.record or args.dump_dir is not None
+    if record and args.dump_dir is None:
+        parser.error("--record requires --dump-dir (nowhere to keep dumps)")
     results = run_sweep(
-        range(args.start, args.start + args.seeds), backend=args.backend
+        range(args.start, args.start + args.seeds),
+        backend=args.backend,
+        record=record,
+        dump_dir=args.dump_dir,
     )
     failures = [r for r in results if not r.converged]
     total_faults = sum(
@@ -334,6 +439,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     for r in failures:
         print(f"  seed {r.seed}: mismatches={r.mismatches} "
               f"health={r.final_health}")
+    if record:
+        total_dumps = sum(len(r.crash_dumps) for r in results)
+        bad = _verify_dumps(args.dump_dir, results)
+        print(f"flight-recorder dumps: {total_dumps} written, "
+              f"{len(bad)} unparseable")
+        for path in bad:
+            print(f"  unparseable: {path}")
+        if bad:
+            return 1
     return 1 if failures else 0
 
 

@@ -45,6 +45,7 @@ from repro.errors import (
     TicketTimeoutError,
 )
 from repro.obs import COUNT_BUCKETS, REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
 from repro.types import Edge, Vertex, canonical_edge
 
 # Cached metric handles (all touched once per batch, on the update thread).
@@ -289,6 +290,9 @@ class BatchCoordinator:
             _CO_BATCHES.inc()
             _CO_UPDATES.inc(len(batch))
             _CO_SIZE.observe(len(batch))
+        if _REC.enabled:
+            # Queue drain note: a=tickets in this batch, b=still queued.
+            _REC.record(_EV.NOTE, len(batch), self._queue.qsize())
         # Pre-process: last op per edge wins (the paper's batch semantics).
         final: dict[Edge, UpdateTicket] = {}
         order: list[Edge] = []

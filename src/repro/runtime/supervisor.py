@@ -47,6 +47,11 @@ from repro.errors import (
 from repro.harness.telemetry import ServiceTelemetry
 from repro.lds.params import LDSParams
 from repro.obs import REGISTRY as _OBS
+from repro.obs.flightrec import RECORDER as _REC, EventType as _EV
+from repro.obs.staleness import (
+    RECOVERY_SECONDS as _RECOVERY_SECONDS,
+    SNAPSHOT_AGE as _SNAPSHOT_AGE,
+)
 from repro.runtime.coordinator import BatchCoordinator
 from repro.types import Edge, Vertex, canonical_edge
 
@@ -79,6 +84,16 @@ class HealthState(enum.Enum):
     RECOVERING = "recovering"
     DEGRADED = "degraded"
     FAILED = "failed"
+
+
+#: Stable integer encoding of the health states for flight-recorder
+#: HEALTH events (``a`` = from-state, ``b`` = to-state).
+HEALTH_ORDINALS = {
+    HealthState.HEALTHY: 0,
+    HealthState.RECOVERING: 1,
+    HealthState.DEGRADED: 2,
+    HealthState.FAILED: 3,
+}
 
 
 _ALLOWED_TRANSITIONS = {
@@ -325,6 +340,7 @@ class SupervisedCPLDS:
         sync: bool = False,
         sleep: Callable[[float], None] = time.sleep,
         telemetry: ServiceTelemetry | None = None,
+        crash_dump_dir: str | os.PathLike[str] | None = None,
     ) -> None:
         from repro.persist import BatchJournal
 
@@ -347,6 +363,14 @@ class SupervisedCPLDS:
         #: does).
         self.post_restore: Callable[[CPLDS], None] | None = None
         self.failure_cause: BaseException | None = None
+        #: Where flight-recorder crash dumps land on RECOVERING/FAILED
+        #: transitions (defaults to the journal directory when journaling;
+        #: None + no journal = no dumps).
+        self.crash_dump_dir: str | None = (
+            os.fspath(crash_dump_dir) if crash_dump_dir is not None else None
+        )
+        #: Basenames of every crash dump this service instance wrote.
+        self.crash_dumps: list[str] = []
 
         self._journal: "BatchJournal | None" = None
         self._journal_dir: str | None = None
@@ -361,6 +385,8 @@ class SupervisedCPLDS:
             directory = os.fspath(journal_dir)
             os.makedirs(directory, exist_ok=True)
             self._journal_dir = directory
+            if self.crash_dump_dir is None:
+                self.crash_dump_dir = directory
             self._journal = BatchJournal.create(
                 os.path.join(directory, JOURNAL_FILENAME),
                 num_vertices=impl.graph.num_vertices,
@@ -406,6 +432,8 @@ class SupervisedCPLDS:
         impl, report = restore_from_dir(directory)
         service = cls(impl, journal_dir=None, sync=sync, **options)
         service._journal_dir = directory
+        if service.crash_dump_dir is None:
+            service.crash_dump_dir = directory
         service._journal = BatchJournal.compact(
             os.path.join(directory, JOURNAL_FILENAME),
             cplds=impl,
@@ -430,17 +458,26 @@ class SupervisedCPLDS:
         """Read with degradation metadata (stale flag, health, batch)."""
         health = self.health
         if health in (HealthState.RECOVERING, HealthState.FAILED):
-            snap = self._snapshot
-            self.telemetry.stale_reads += 1
-            return ServiceRead(snap.estimate(v), True, health, snap.batch)
+            return self._stale_read(v, health)
         impl = self.impl
         try:
             return ServiceRead(impl.read(v), False, health, impl.batch_number)
         except Exception:
             # Wounded mid-transition (failure racing this read): degrade.
-            snap = self._snapshot
-            self.telemetry.stale_reads += 1
-            return ServiceRead(snap.estimate(v), True, self.health, snap.batch)
+            return self._stale_read(v, self.health)
+
+    def _stale_read(self, v: Vertex, health: HealthState) -> ServiceRead:
+        """Serve ``v`` from the last-known-good snapshot, accounting its
+        age (live batch number minus the snapshot's) in epochs."""
+        snap = self._snapshot
+        self.telemetry.stale_reads += 1
+        age = max(0, self.impl.batch_number - snap.batch)
+        self.telemetry.note_stale_read_age(age)
+        if _OBS.enabled:
+            _SNAPSHOT_AGE.observe(age)
+        if _REC.enabled:
+            _REC.record(_EV.STALE_READ, v, age, snap.batch)
+        return ServiceRead(snap.estimate(v), True, health, snap.batch)
 
     # ------------------------------------------------------------------
     # Updates (single supervised writer)
@@ -628,15 +665,19 @@ class SupervisedCPLDS:
 
     def _recover(self, pre_state) -> bool:
         """Restore a consistent pre-batch structure; False = now FAILED."""
+        started = time.perf_counter()
         with _OBS.span(
             "supervisor.recover", journaled=self._journal is not None
         ) as sp:
             self._set_health(HealthState.RECOVERING)
             self.telemetry.recoveries += 1
+            replayed = checkpoint_seq = 0
             try:
                 if self._journal is not None:
                     assert self._journal_dir is not None
                     impl, report = restore_from_dir(self._journal_dir)
+                    replayed = report.replayed
+                    checkpoint_seq = report.checkpoint_seq
                     sp.set(
                         replayed=report.replayed,
                         checkpoint_seq=report.checkpoint_seq,
@@ -649,6 +690,8 @@ class SupervisedCPLDS:
             except Exception as exc:
                 self._fail(exc)
                 sp.set(failed=True)
+                if _REC.enabled:
+                    _REC.record(_EV.RECOVERY, 0, replayed, checkpoint_seq)
                 return False
             self.impl = impl
             if self.post_restore is not None:
@@ -657,6 +700,10 @@ class SupervisedCPLDS:
             # (readers keep the stale tag until a batch commits again).
             self._snapshot = self._take_snapshot()
             self._committed_since_snapshot = 0
+            if _OBS.enabled:
+                _RECOVERY_SECONDS.observe(time.perf_counter() - started)
+            if _REC.enabled:
+                _REC.record(_EV.RECOVERY, 1, replayed, checkpoint_seq)
             return True
 
     def _fail(self, cause: BaseException) -> None:
@@ -672,6 +719,31 @@ class SupervisedCPLDS:
             raise AssertionError(f"illegal health transition {old} -> {new}")
         self.health = new
         self.telemetry.record_transition(old.name, new.name)
+        if _REC.enabled:
+            _REC.record(_EV.HEALTH, HEALTH_ORDINALS[old], HEALTH_ORDINALS[new])
+        if new in (HealthState.RECOVERING, HealthState.FAILED):
+            self.dump_flight_record(new.value)
+
+    def dump_flight_record(self, tag: str) -> Optional[str]:
+        """Dump the flight recorder's tail for post-mortem analysis.
+
+        Called automatically on every RECOVERING/FAILED transition; callable
+        explicitly (the chaos harness dumps after simulated restarts).  The
+        filename embeds the recorder's lifetime event count, so successive
+        dumps never collide and deterministic replays produce deterministic
+        names.  Never raises — a failed dump must not worsen a failure.
+        """
+        if not _REC.enabled or self.crash_dump_dir is None:
+            return None
+        name = f"flightrec-{_REC.total:08d}-{tag}.jsonl"
+        path = os.path.join(self.crash_dump_dir, name)
+        try:
+            os.makedirs(self.crash_dump_dir, exist_ok=True)
+            _REC.dump(path)
+        except OSError:  # pragma: no cover - dump failure must stay benign
+            return None
+        self.crash_dumps.append(name)
+        return path
 
     def _take_snapshot(self) -> _Snapshot:
         impl = self.impl
@@ -698,6 +770,8 @@ class SupervisedCPLDS:
         self._journal.note_checkpoint(self._last_seq, name)
         self.telemetry.journal_records += 1
         self.telemetry.checkpoints_written += 1
+        if _REC.enabled:
+            _REC.record(_EV.CHECKPOINT, self._last_seq)
         self._committed_since_checkpoint = 0
         for _seq, old in _list_checkpoints(self._journal_dir)[self.keep_checkpoints:]:
             os.unlink(old)

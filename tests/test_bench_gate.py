@@ -14,7 +14,26 @@ from repro.harness import bench_gate
 from repro.harness.bench_json import WORK_COUNTERS
 
 
-def _doc(moves=1000, rounds=50, batch_s=0.5, read_s=1e-5) -> dict:
+def _staleness(p99=1.0, frac=0.05, retries=0.001, slo_status="PASS") -> dict:
+    return {
+        "reads_live": 950,
+        "reads_descriptor": 50,
+        "descriptor_read_fraction": frac,
+        "retries_total": 1,
+        "retries_per_read": retries,
+        "staleness_epochs_p50": 0.0,
+        "staleness_epochs_p99": p99,
+        "staleness_epochs_max": 1.0,
+        "slo": {
+            "status": slo_status,
+            "verdicts": [
+                {"name": "staleness-p99", "status": slo_status},
+            ],
+        },
+    }
+
+
+def _doc(moves=1000, rounds=50, batch_s=0.5, read_s=1e-5, staleness=None) -> dict:
     work = {name: 1 for name in WORK_COUNTERS}
     work["plds_moves_total"] = moves
     work["plds_rounds_total"] = rounds
@@ -26,6 +45,8 @@ def _doc(moves=1000, rounds=50, batch_s=0.5, read_s=1e-5) -> dict:
             "fig5": {"cplds_median_batch_time_s": batch_s},
             "fig7": {},
         }
+        if staleness is not None:
+            backends[backend]["staleness"] = copy.deepcopy(staleness)
         metrics[backend] = {"work": dict(work), "snapshot": {}}
     return {"backends": backends, "metrics": metrics}
 
@@ -126,12 +147,63 @@ def test_cli_warn_only_overrides_failure(tmp_path, capsys):
     assert "overridden" in capsys.readouterr().out
 
 
+def test_slo_budget_overrun_warns_only():
+    """Spending >1.25x+slack of a staleness budget warns, never fails."""
+    base = _doc(staleness=_staleness(p99=1.0))
+    cand = _doc(staleness=_staleness(p99=4.0))
+    result = bench_gate.compare(base, cand)
+    assert result.ok
+    assert any("staleness_epochs_p99" in w for w in result.warnings)
+
+
+def test_slo_budget_within_tolerance_is_silent():
+    base = _doc(staleness=_staleness(p99=1.0, frac=0.05, retries=0.001))
+    cand = _doc(staleness=_staleness(p99=1.0, frac=0.055, retries=0.002))
+    result = bench_gate.compare(base, cand)
+    assert result.ok and result.warnings == []
+
+
+def test_slo_section_missing_from_baseline_is_silent():
+    """Old baselines predate the staleness section: nothing to compare."""
+    base = _doc()  # no staleness anywhere
+    cand = _doc(staleness=_staleness())
+    result = bench_gate.compare(base, cand)
+    assert result.ok and result.warnings == []
+
+
+def test_slo_section_lost_by_candidate_warns():
+    base = _doc(staleness=_staleness())
+    cand = _doc()
+    result = bench_gate.compare(base, cand)
+    assert result.ok
+    assert any("lost the staleness section" in w for w in result.warnings)
+
+
+def test_slo_fail_verdict_warns():
+    base = _doc(staleness=_staleness())
+    cand = _doc(staleness=_staleness(slo_status="FAIL"))
+    result = bench_gate.compare(base, cand)
+    assert result.ok
+    assert any("SLO report is FAIL" in w for w in result.warnings)
+    assert any("staleness-p99" in w for w in result.warnings)
+
+
+def test_slo_none_valued_fields_are_skipped():
+    """None percentiles (no histogram data on one side) never warn."""
+    stale = _staleness()
+    stale["staleness_epochs_p99"] = None
+    result = bench_gate.compare(
+        _doc(staleness=_staleness()), _doc(staleness=stale)
+    )
+    assert result.ok and result.warnings == []
+
+
 def test_checked_in_baseline_has_metrics():
-    """The repo's own BENCH_pr6.json must carry the work-counter section
+    """The repo's own BENCH_pr7.json must carry the work-counter section
     the CI gate depends on, for every backend."""
     import os
 
-    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr6.json")
+    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr7.json")
     with open(path) as fh:
         doc = json.load(fh)
     for backend in ("object", "columnar", "columnar-frontier"):
@@ -140,3 +212,8 @@ def test_checked_in_baseline_has_metrics():
             assert isinstance(work[name], int) and work[name] >= 0
     # Work counters are backend-independent by construction.
     assert doc["metrics"]["object"]["work"] == doc["metrics"]["columnar"]["work"]
+    # Every backend carries the staleness accounting the SLO budgets read.
+    for backend in ("object", "columnar", "columnar-frontier"):
+        stale = doc["backends"][backend]["staleness"]
+        assert stale["reads_live"] + stale["reads_descriptor"] > 0
+        assert stale["slo"]["status"] in ("PASS", "WARN", "FAIL")

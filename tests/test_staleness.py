@@ -1,0 +1,262 @@
+"""Tests for read-staleness accounting and SLO evaluation
+(`repro.obs.staleness`).
+
+Covers the sandwich-protocol staleness classes (live = 0 epochs,
+descriptor = 1 epoch, degraded snapshot = unbounded), the histogram
+quantile readouts, the declarative SLO machinery, and the differential
+contract: all three level-store backends report identical staleness-epoch
+histograms on a deterministic single-threaded replay, because the marked
+set is a pure function of the update stream.
+"""
+
+import math
+
+import pytest
+
+from repro import engines, obs
+from repro.core.cplds import CPLDS
+from repro.lds.params import LDSParams
+from repro.lds.store import BACKENDS
+from repro.obs import staleness as SL
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.inject import InjectionProbe, attach_probe
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    """Leave the process-wide registry the way the session started."""
+    was = obs.enabled()
+    yield
+    obs.REGISTRY.enabled = was
+    obs.reset()
+
+
+@pytest.fixture
+def live_obs():
+    obs.reset()
+    obs.enable()
+    return obs.REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Histogram readouts
+# ---------------------------------------------------------------------------
+
+def _hist(values, bounds=(1.0, 2.0, 4.0)):
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("h", bounds)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def test_histogram_quantile_basics():
+    h = _hist([1, 1, 1, 2, 4])
+    assert SL.histogram_quantile(h, 0.5) == 1.0
+    assert SL.histogram_quantile(h, 0.8) == 2.0
+    assert SL.histogram_quantile(h, 1.0) == 4.0
+    assert SL.histogram_max_bound(h) == 4.0
+
+
+def test_histogram_quantile_empty_is_nan():
+    assert math.isnan(SL.histogram_quantile(_hist([]), 0.5))
+
+
+def test_histogram_quantile_overflow_is_inf():
+    h = _hist([100.0])  # above every bound: overflow bucket
+    assert SL.histogram_quantile(h, 0.99) == float("inf")
+
+
+def test_histogram_quantile_validates_q():
+    with pytest.raises(ValueError):
+        SL.histogram_quantile(_hist([1]), 1.5)
+
+
+# ---------------------------------------------------------------------------
+# SLO machinery
+# ---------------------------------------------------------------------------
+
+def test_evaluate_statuses():
+    targets = (
+        SL.SLOTarget("t-pass", "x", threshold=10.0),
+        SL.SLOTarget("t-warn", "y", threshold=10.0, warn_fraction=0.5),
+        SL.SLOTarget("t-fail", "z", threshold=1.0),
+        SL.SLOTarget("t-nodata", "missing", threshold=1.0),
+    )
+    report = SL.evaluate(targets, {"x": 1.0, "y": 6.0, "z": 5.0})
+    by = {v.target.name: v.status for v in report.verdicts}
+    assert by == {
+        "t-pass": "PASS",
+        "t-warn": "WARN",
+        "t-fail": "FAIL",
+        "t-nodata": "NODATA",
+    }
+    assert report.status == "FAIL" and not report.ok
+
+
+def test_evaluate_nan_is_nodata():
+    targets = (SL.SLOTarget("t", "x", threshold=1.0),)
+    report = SL.evaluate(targets, {"x": float("nan")})
+    assert report.verdicts[0].status == "NODATA"
+    assert report.ok and report.status == "PASS"
+
+
+def test_report_status_prefers_warn_over_pass():
+    targets = (
+        SL.SLOTarget("a", "x", threshold=10.0),
+        SL.SLOTarget("b", "y", threshold=10.0, warn_fraction=0.5),
+    )
+    report = SL.evaluate(targets, {"x": 1.0, "y": 9.0})
+    assert report.status == "WARN" and report.ok
+
+
+def test_as_dict_maps_inf_to_none():
+    targets = (SL.SLOTarget("t", "x", threshold=1.0),)
+    report = SL.evaluate(targets, {"x": float("inf")})
+    doc = report.as_dict()
+    assert doc["status"] == "FAIL"
+    assert doc["verdicts"][0]["observed"] is None
+
+
+def test_render_lists_every_target():
+    report = SL.evaluate(SL.DEFAULT_SLOS, {})
+    text = report.render()
+    for target in SL.DEFAULT_SLOS:
+        assert target.name in text
+    assert "NODATA" in text
+
+
+def test_warn_fraction_validation():
+    with pytest.raises(ValueError):
+        SL.SLOTarget("t", "x", threshold=1.0, warn_fraction=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Live vs descriptor tagging
+# ---------------------------------------------------------------------------
+
+def test_quiescent_reads_are_live(live_obs):
+    cp = CPLDS(16)
+    cp.insert_batch([(0, 1), (1, 2), (2, 3)])
+    base_live = live_obs.counter_value("cplds_reads_live_total")
+    for v in range(4):
+        r = cp.read_verbose(v)
+        assert not r.from_descriptor
+    assert live_obs.counter_value("cplds_reads_live_total") == base_live + 4
+    assert live_obs.counter_value("cplds_reads_descriptor_total") == 0
+    # All staleness observations are 0 epochs (bucket 0 inclusive).
+    h = live_obs._histograms[("cplds_read_staleness_epochs", ())]
+    assert h.count == 4 and h.counts[0] == 4
+
+
+def test_midbatch_reads_tag_descriptor_class(live_obs):
+    """Reads injected at round boundaries hit marked vertices; the counter
+    split must match the per-read ``from_descriptor`` flags exactly."""
+    cp = CPLDS(64)
+    cp.insert_batch([(i, i + 1) for i in range(40)])
+    seen = {"live": 0, "descriptor": 0}
+
+    def on_point(_tag):
+        for v in (0, 1, 2, 20, 21):
+            r = cp.read_verbose(v)
+            seen["descriptor" if r.from_descriptor else "live"] += 1
+
+    attach_probe(cp, InjectionProbe(on_point))
+    obs.reset()
+    cp.insert_batch([(0, v) for v in range(2, 30)])  # dense around vertex 0
+
+    assert seen["descriptor"] > 0, "no mid-batch read hit a marked vertex"
+    assert (
+        live_obs.counter_value("cplds_reads_descriptor_total")
+        == seen["descriptor"]
+    )
+    assert live_obs.counter_value("cplds_reads_live_total") == seen["live"]
+    h = live_obs._histograms[("cplds_read_staleness_epochs", ())]
+    # live -> 0 epochs, descriptor -> 1 epoch; nothing further behind.
+    assert h.counts[0] == seen["live"]
+    assert h.counts[1] == seen["descriptor"]
+    assert h.count == seen["live"] + seen["descriptor"]
+
+    observations = SL.observations_from_registry(live_obs)
+    assert observations["descriptor_read_fraction"] == pytest.approx(
+        seen["descriptor"] / (seen["live"] + seen["descriptor"])
+    )
+    assert observations["staleness_epochs_max"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Differential: identical histograms across backends
+# ---------------------------------------------------------------------------
+
+def _staleness_replay(backend: str) -> tuple:
+    """Deterministic single-threaded replay with round-boundary reads;
+    returns the staleness histogram's (counts, live, descriptor)."""
+    obs.reset()
+    n = 48
+    impl = engines.create(
+        "cplds", n, params=LDSParams(n, levels_per_group=4), backend=backend
+    )
+    sample = (0, 1, 5, 11, 23, 47)
+
+    def on_point(_tag):
+        for v in sample:
+            impl.read_verbose(v)
+
+    attach_probe(impl, InjectionProbe(on_point, at_begin=True, at_end=True))
+    chain = [(i, i + 1) for i in range(n - 1)]
+    star0 = [(0, v) for v in range(2, 24)]  # dense around sampled vertex 0
+    star1 = [(1, v) for v in range(24, n)]
+    impl.insert_batch(chain)
+    impl.insert_batch(star0)
+    impl.insert_batch(star1)
+    impl.delete_batch(star0)
+    for v in sample:
+        impl.read_verbose(v)
+
+    h = obs.REGISTRY._histograms[("cplds_read_staleness_epochs", ())]
+    return (
+        tuple(h.counts),
+        obs.REGISTRY.counter_value("cplds_reads_live_total"),
+        obs.REGISTRY.counter_value("cplds_reads_descriptor_total"),
+    )
+
+
+def test_staleness_histograms_identical_across_backends(live_obs):
+    """The marked set is a pure function of the update stream, so every
+    backend must report the same staleness-epoch histogram on the same
+    deterministic replay (ISSUE acceptance criterion)."""
+    results = {b: _staleness_replay(b) for b in BACKENDS}
+    reference = results["object"]
+    assert reference[0][1] > 0, "replay produced no descriptor reads"
+    for backend, got in results.items():
+        assert got == reference, (
+            f"{backend} staleness accounting diverged from object: "
+            f"{got} != {reference}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Degraded snapshot age
+# ---------------------------------------------------------------------------
+
+def test_degraded_reads_account_snapshot_age(tmp_path, live_obs):
+    from repro.runtime.supervisor import HealthState, SupervisedCPLDS
+
+    service = SupervisedCPLDS(
+        CPLDS(16), journal_dir=tmp_path, snapshot_every=1000
+    )
+    service.apply_batch(insertions=[(0, 1), (1, 2)])
+    service.apply_batch(insertions=[(2, 3), (3, 4)])
+    service._set_health(HealthState.RECOVERING)
+    r = service.read_tagged(1)
+    assert r.stale
+    # Snapshot was taken at batch 0; the live structure is at batch 2.
+    assert service.telemetry.stale_read_max_age == 2
+    h = live_obs._histograms[("service_snapshot_age_epochs", ())]
+    assert h.count == 1
+    observations = SL.observations_from_registry(live_obs)
+    assert observations["snapshot_age_epochs_max"] == 2.0
+    gauges = {g.key[0]: g.value for g in live_obs.gauges()}
+    assert gauges.get("service_stale_read_age_epochs_max") == 2
+    service._set_health(HealthState.HEALTHY)
+    service.close()
