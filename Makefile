@@ -2,6 +2,10 @@
 
 PYTHON ?= python
 
+# Canonical checked-in benchmark artifact (must match
+# repro.harness.bench_json.BENCH_ARTIFACT, the CLI default).
+BENCH_ARTIFACT ?= BENCH_pr9.json
+
 # Every target runs against the in-tree sources, no install required.
 export PYTHONPATH = src
 
@@ -26,23 +30,23 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
+	$(PYTHON) -m repro.harness.bench_json -o $(BENCH_ARTIFACT)
 
 bench-full:
 	REPRO_BENCH_CONFIG=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
-	$(PYTHON) -m repro.harness.bench_json --full -o BENCH_pr7.json
+	$(PYTHON) -m repro.harness.bench_json --full -o $(BENCH_ARTIFACT)
 
 bench-json:
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
+	$(PYTHON) -m repro.harness.bench_json -o $(BENCH_ARTIFACT)
 
 # Refresh the checked-in bench-gate baseline (commit the result).
 bench-baseline:
-	$(PYTHON) -m repro.harness.bench_json -o BENCH_pr7.json
+	$(PYTHON) -m repro.harness.bench_json -o $(BENCH_ARTIFACT)
 
 # What CI's bench-gate job runs: fresh candidate vs checked-in baseline.
 bench-gate:
 	$(PYTHON) -m repro.harness.bench_json -o /tmp/bench_candidate.json
-	$(PYTHON) -m repro.harness.bench_gate --baseline BENCH_pr7.json --candidate /tmp/bench_candidate.json
+	$(PYTHON) -m repro.harness.bench_gate --baseline $(BENCH_ARTIFACT) --candidate /tmp/bench_candidate.json
 
 reproduce:
 	$(PYTHON) -m repro.harness.run_all

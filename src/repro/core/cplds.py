@@ -157,6 +157,7 @@ class _MarkingHooks(UpdateHooks):
             )
         cp.descriptors.unmark_all(cp.plds.executor.run_round)
         cp._batch_partners = {}
+        cp._publish_epoch()
 
 
 class CPLDS:
@@ -213,6 +214,12 @@ class CPLDS:
         self.descriptors = DescriptorTable(num_vertices)
         self.batch_number = 0
         self.max_read_retries = max_read_retries
+        #: Optional :class:`repro.reads.EpochSnapshotStore`: when attached
+        #: (see :func:`repro.reads.attach_epoch_store`), every ``batch_end``
+        #: the store's cadence accepts publishes an immutable level snapshot
+        #: for the multi-version read tier.  Never touched by the update
+        #: algorithm itself — publishing adds no rounds, moves, or marks.
+        self.epoch_store = None
         self._batch_partners: dict[Vertex, list[Vertex]] = {}
         self._wounded = False
         #: Telemetry from the most recent batch.
@@ -276,6 +283,23 @@ class CPLDS:
                 rounds=self.plds.last_batch_rounds,
             )
             return counts
+
+    def _publish_epoch(self) -> None:
+        """Publish this epoch's level snapshot to the attached read tier.
+
+        Called by the hooks at ``batch_end`` (once per insert/delete
+        phase), after unmarking, so the published levels are the settled
+        post-batch state.  A no-op without a store (or when the store's
+        publish cadence rejects the epoch); costs one O(n) array copy
+        when it fires and touches no work counters.
+        """
+        store = self.epoch_store
+        if store is not None and store.accepts(self.batch_number):
+            store.publish(
+                self.batch_number,
+                self.plds.state.snapshot_levels(),
+                params=self.params,
+            )
 
     # ------------------------------------------------------------------
     # Reads (read processes — lock-free, callable from any thread)

@@ -466,6 +466,7 @@ class FrontierMarkingHooks(UpdateHooks):
         self._pair_chunks.clear()
         self._pairs_scalar.clear()
         self._edges = ()
+        cp._publish_epoch()
 
 
 class FrontierCPLDS(CPLDS):

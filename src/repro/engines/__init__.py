@@ -121,13 +121,16 @@ def create(
     backend: str = "object",
     params=None,
     executor=None,
+    epoch_store=None,
     **kwargs,
 ) -> CoreEngine:
     """Construct the engine ``name`` over ``num_vertices`` vertices.
 
     ``backend`` selects the level-store layout (see
-    :mod:`repro.lds.store`); every other keyword is passed through to the
-    engine's constructor.
+    :mod:`repro.lds.store`); ``epoch_store`` optionally attaches a
+    :class:`repro.reads.EpochSnapshotStore` so the engine publishes a
+    level snapshot per batch epoch (CPLDS family only); every other
+    keyword is passed through to the engine's constructor.
     """
     try:
         factory = _FACTORIES[name]
@@ -135,6 +138,11 @@ def create(
         raise ValueError(
             f"unknown engine {name!r} (available: {', '.join(available())})"
         ) from None
-    return factory(
+    engine = factory(
         num_vertices, params=params, executor=executor, backend=backend, **kwargs
     )
+    if epoch_store is not None:
+        from repro.reads import attach_epoch_store
+
+        attach_epoch_store(engine, epoch_store)
+    return engine

@@ -145,6 +145,15 @@ class NotLinearizable(ReproError):
     """
 
 
+class EpochUnavailableError(ReproError):
+    """The requested epoch is not retained by the snapshot store.
+
+    Raised by :meth:`repro.reads.EpochSnapshotStore.pin` when the epoch was
+    evicted (outside the retention window) or never published, and by
+    :class:`repro.reads.EpochPin` read methods after :meth:`release`.
+    """
+
+
 class SimulationError(ReproError):
     """The deterministic scheduler was driven into an invalid state."""
 

@@ -31,7 +31,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.harness.bench_json -o /tmp/candidate.json
     PYTHONPATH=src python -m repro.harness.bench_gate \
-        --baseline BENCH_pr7.json --candidate /tmp/candidate.json
+        --candidate /tmp/candidate.json  # baseline defaults to BENCH_ARTIFACT
 """
 
 from __future__ import annotations
@@ -40,7 +40,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.harness.bench_json import WORK_COUNTERS
+from repro.harness.bench_json import BENCH_ARTIFACT, WORK_COUNTERS
 
 #: Wall-clock medians compared (warn-only), as (label, path-in-document).
 _WALL_CLOCK_FIELDS = (
@@ -225,8 +225,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in BENCH_*.json to gate against")
+    parser.add_argument("--baseline", default=BENCH_ARTIFACT,
+                        help="checked-in BENCH_*.json to gate against "
+                             f"(default: {BENCH_ARTIFACT})")
     parser.add_argument("--candidate", required=True,
                         help="freshly generated BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,

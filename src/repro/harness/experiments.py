@@ -12,6 +12,8 @@ the same edges, uniform-random reads concurrent with every batch.
 from __future__ import annotations
 
 import math
+import threading
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
@@ -536,6 +538,113 @@ def fig7(
                         write_throughput=res.write_throughput(),
                     )
                 )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Epoch-snapshot bulk-read throughput (the read tier's headline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EpochReadRow:
+    """One epoch-read throughput measurement at a given update load."""
+
+    dataset: str
+    #: How many times the seeded stream was applied during the run.
+    update_factor: int
+    epochs_published: int
+    vertices_read: int
+    elapsed_s: float
+
+    @property
+    def read_throughput(self) -> float:
+        """Vertices bulk-read per second across all reader threads."""
+        return self.vertices_read / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def fig_epoch_reads(
+    config: ExperimentConfig = QUICK,
+    update_factors: Sequence[int] = (1, 2),
+    base_repeats: int = 4,
+) -> list[EpochReadRow]:
+    """Bulk-read throughput through the epoch-snapshot read tier under
+    live update churn (real threads, wall-clock).
+
+    For each ``update_factor`` the seeded stream is applied
+    ``base_repeats * update_factor`` times on the update thread while
+    ``config.num_readers`` reader threads continuously pin the newest
+    epoch and bulk-read every vertex's coreness
+    (:meth:`~repro.reads.EpochPin.coreness_many`).  Because pinned reads
+    never touch the live structure, doubling the update load should
+    leave read throughput essentially unchanged — the ratio between
+    factors is the headline the bench JSON reports.
+
+    Measurement hygiene: the stream's batches are materialized *before*
+    the clock starts (stream construction is itself GIL-friendly numpy
+    work that would inflate reader throughput), and each factor's run
+    applies one untimed warmup pass so allocator and cache effects land
+    outside the window.  Runs on the first configured dataset only.
+    Wall-clock only: the stream applications do perturb the
+    deterministic work counters, so callers capturing those must do so
+    *before* this driver (as :func:`repro.harness.bench_json.collect`
+    does).
+    """
+    from repro.reads import EpochSnapshotStore
+
+    rows: list[EpochReadRow] = []
+    name = config.datasets[0]
+    n, _ = ds.DATASETS[name].build_edges()
+    params = LDSParams(n, levels_per_group=config.levels_per_group)
+    num_readers = max(1, config.num_readers)
+    batches = [
+        (batch.kind, batch.edges)
+        for batch in make_stream(name, config, trial=0)
+    ]
+
+    def apply_stream(impl) -> None:
+        for kind, edges in batches:
+            if kind == "insert":
+                impl.insert_batch(edges)
+            else:
+                impl.delete_batch(edges)
+
+    for factor in update_factors:
+        store = EpochSnapshotStore(window=8)
+        impl = engines.create(
+            "cplds", n, params=params, backend=config.backend,
+            epoch_store=store,
+        )
+        apply_stream(impl)  # untimed warmup pass (ends on an empty graph)
+        stop = threading.Event()
+        counts = [0] * num_readers
+
+        def reader(idx: int) -> None:
+            while not stop.is_set():
+                with store.pin() as pin:
+                    pin.coreness_many()
+                counts[idx] += n
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(num_readers)
+        ]
+        for t in threads:
+            t.start()
+        start = time.perf_counter()
+        for _ in range(base_repeats * factor):
+            apply_stream(impl)
+        stop.set()
+        elapsed = time.perf_counter() - start
+        for t in threads:
+            t.join(timeout=30)
+        rows.append(
+            EpochReadRow(
+                dataset=name,
+                update_factor=factor,
+                epochs_published=store.published_total,
+                vertices_read=sum(counts),
+                elapsed_s=elapsed,
+            )
+        )
     return rows
 
 

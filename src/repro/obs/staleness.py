@@ -5,10 +5,14 @@ one of two staleness classes: a **live** read (the descriptor check found
 no in-flight mark, so the returned level is the current one — 0 epochs
 behind) or a **descriptor** read (the vertex was marked by the batch in
 flight, so the returned level is the pre-batch ``old_level`` — exactly 1
-epoch behind the live structure).  The supervisor's DEGRADED mode adds a
-third class: **snapshot** reads served from the last checkpoint, whose
-age in batch epochs is unbounded.  This module turns those classes into
-registry metrics and machine-readable SLO verdicts.
+epoch behind the live structure).  Two more classes come from the service
+layer: **epoch** reads served from the multi-version read tier
+(:mod:`repro.reads`), whose staleness is the pinned epoch's distance from
+the newest published epoch and is bounded by the store's staleness budget;
+and **degraded** reads, which the supervisor serves from the newest
+retained epoch while recovery is in flight, whose age is bounded only by
+the publish cadence.  This module turns those classes into registry
+metrics and machine-readable SLO verdicts.
 
 Metrics (all in ``repro.obs.REGISTRY``; see ``docs/observability.md``):
 
@@ -20,9 +24,13 @@ Metrics (all in ``repro.obs.REGISTRY``; see ``docs/observability.md``):
   degraded reads).  Deterministic on single-threaded replays: the marked
   set is a pure function of the update stream, so all backends report
   identical histograms (``tests/test_staleness.py``).
-* ``service_snapshot_age_epochs`` — histogram of degraded-read snapshot
-  ages (``live batch_number - snapshot batch``).
+* ``service_snapshot_age_epochs`` — histogram of degraded-read epoch
+  ages (``live batch_number - served epoch``).
 * ``service_recovery_seconds`` — histogram of supervisor recovery times.
+* ``epoch_reads_total`` / ``epoch_pins_total`` /
+  ``epoch_pins_force_advanced_total`` — read-tier traffic counters.
+* ``epoch_read_staleness_epochs`` — histogram of epochs-behind-newest for
+  every bulk read served through an :class:`repro.reads.EpochPin`.
 
 SLOs are declarative :class:`SLOTarget` rows evaluated against an
 observation dict (:func:`observations_from_registry` derives one from the
@@ -43,6 +51,10 @@ from repro.obs.registry import Histogram, MetricsRegistry
 __all__ = [
     "DEFAULT_SLOS",
     "EPOCH_BUCKETS",
+    "EPOCH_PINS",
+    "EPOCH_PINS_ADVANCED",
+    "EPOCH_READS",
+    "EPOCH_READ_STALENESS",
     "READS_DESCRIPTOR",
     "READS_LIVE",
     "RECOVERY_SECONDS",
@@ -69,6 +81,12 @@ READS_DESCRIPTOR = REGISTRY.counter("cplds_reads_descriptor_total")
 STALENESS_EPOCHS = REGISTRY.histogram("cplds_read_staleness_epochs", EPOCH_BUCKETS)
 SNAPSHOT_AGE = REGISTRY.histogram("service_snapshot_age_epochs", EPOCH_BUCKETS)
 RECOVERY_SECONDS = REGISTRY.histogram("service_recovery_seconds", TIME_BUCKETS)
+EPOCH_READS = REGISTRY.counter("epoch_reads_total")
+EPOCH_READ_STALENESS = REGISTRY.histogram(
+    "epoch_read_staleness_epochs", EPOCH_BUCKETS
+)
+EPOCH_PINS = REGISTRY.counter("epoch_pins_total")
+EPOCH_PINS_ADVANCED = REGISTRY.counter("epoch_pins_force_advanced_total")
 
 
 # ---------------------------------------------------------------------------
@@ -241,6 +259,10 @@ def observations_from_registry(
     h = hist("service_snapshot_age_epochs")
     if h is not None:
         out["snapshot_age_epochs_max"] = histogram_max_bound(h)
+    h = hist("epoch_read_staleness_epochs")
+    if h is not None:
+        out["epoch_read_staleness_p99"] = histogram_quantile(h, 0.99)
+        out["epoch_read_staleness_max"] = histogram_max_bound(h)
     h = hist("service_recovery_seconds")
     if h is not None:
         out["recovery_seconds_p99"] = histogram_quantile(h, 0.99)
@@ -282,6 +304,19 @@ DEFAULT_SLOS: Tuple[SLOTarget, ...] = (
         "snapshot_age_epochs_max",
         threshold=16.0,
         description="degraded reads never served from a snapshot >16 epochs old",
+    ),
+    SLOTarget(
+        "epoch-staleness-p99",
+        "epoch_read_staleness_p99",
+        threshold=4.0,
+        warn_fraction=0.5,
+        description="p99 bulk epoch-read staleness ≤ 4 epochs behind newest",
+    ),
+    SLOTarget(
+        "epoch-staleness-max",
+        "epoch_read_staleness_max",
+        threshold=16.0,
+        description="no pinned epoch read served >16 epochs behind newest",
     ),
     SLOTarget(
         "recovery-p99",

@@ -259,6 +259,22 @@ def cplds_from_snapshot(genesis: dict, snapshot: dict) -> CPLDS:
         ) from exc
 
 
+def seed_epoch_store(cplds: CPLDS, store) -> None:
+    """Re-seed an epoch-snapshot store from a (recovered) structure.
+
+    Recovery restores levels by checkpoint + replay, so the read tier's
+    history must be re-anchored: epochs the crash rolled back are dropped
+    and the recovered state becomes the newest retained epoch (see
+    :meth:`repro.reads.EpochSnapshotStore.reseed`), keeping pinned-epoch
+    semantics — pre-crash pins at or below the recovery point stay
+    bit-identical, rolled-back pins force-advance — across the crash.
+    The store is (re-)attached so subsequent batches publish again.
+    """
+    from repro.reads import attach_epoch_store
+
+    attach_epoch_store(cplds, store)
+
+
 # ----------------------------------------------------------------------
 # The write-ahead batch journal
 # ----------------------------------------------------------------------

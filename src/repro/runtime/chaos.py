@@ -16,6 +16,12 @@ estimate for *every* vertex to match the oracle's exactly — plus clean LDS
 invariants, an edge set matching the harness's own bookkeeping, and a final
 health state that never needed operator intervention.
 
+The read tier is probed alongside: every batch (and every simulated process
+crash) runs under a held epoch pin, and the harness requires each pin's
+bulk read to stay bit-identical across the fault — or to have been
+force-advanced because recovery rolled its epoch back.  The probes consume
+no rng, so the fault schedule is unchanged by their presence.
+
 Run one schedule with :func:`run_chaos`; sweep many with
 ``python -m repro.runtime.chaos --seeds 50``.
 """
@@ -115,6 +121,14 @@ class ChaosResult:
     #: (empty unless ``record=True``).  Basenames, not paths, so results
     #: stay comparable across throwaway directories.
     crash_dumps: tuple[str, ...] = ()
+    #: Epoch-pin immutability probes taken (one per batch, one per restart).
+    epoch_pins_checked: int = 0
+    #: Batch indices where a held pin's bulk read changed without the pin
+    #: being force-advanced (empty = pass; folded into ``converged``).
+    epoch_pin_mismatches: tuple[int, ...] = ()
+    #: Total force-advances observed across probes (epochs rolled back by
+    #: mid-batch recovery).
+    epoch_pins_advanced: int = 0
 
 
 def _sample_batch(
@@ -246,6 +260,8 @@ def _run_chaos_inner(
     history: list[AppliedRecord] = []
     crashes_armed = poison_edges = restarts = 0
     truncated_bytes = checkpoints_corrupted = quarantined = 0
+    epoch_pins_checked = epoch_pins_advanced = 0
+    epoch_pin_mismatches: list[int] = []
 
     for i in range(batches):
         ins, dels = _sample_batch(rng, n, live)
@@ -264,8 +280,21 @@ def _run_chaos_inner(
             if _REC.enabled:
                 _REC.record(_EV.CHAOS_FAULT, 2, poison_pick)
 
+        pin = service.pin_epoch()
+        pin_before = tuple(pin.coreness_many(range(n)).tolist())
+
         outcome = service.apply_batch(ins, dels)
         hooks.clear()
+        # A pin held across the batch — including any mid-batch recovery —
+        # must either read bit-identically or have been force-advanced
+        # because recovery rolled its epoch back.
+        pin_after = tuple(pin.coreness_many(range(n)).tolist())
+        epoch_pins_checked += 1
+        if pin.advanced:
+            epoch_pins_advanced += pin.advanced
+        elif pin_after != pin_before:
+            epoch_pin_mismatches.append(i)
+        pin.release()
         quarantined += len(outcome.dropped)
         history.extend(outcome.applied)
         for rec in outcome.applied:
@@ -279,6 +308,10 @@ def _run_chaos_inner(
             if _REC.enabled:
                 _REC.record(_EV.CHAOS_FAULT, 3, i)
             crash_dumps.extend(service.crash_dumps)
+            restart_pin = service.pin_epoch()
+            restart_before = tuple(
+                restart_pin.coreness_many(range(n)).tolist()
+            )
             service._journal.close()
             jpath = os.path.join(directory, "journal.jsonl")
             if rng.random() < 0.6:
@@ -306,6 +339,17 @@ def _run_chaos_inner(
             # A restart is an induced failure with no health transition on
             # the (fresh) service: dump its recovery timeline explicitly.
             service.dump_flight_record(f"restart-{restarts}")
+            # The pin taken before the process crash leases a snapshot of
+            # the dead service's store; it must keep reading bit-identically
+            # even though the replacement service runs a fresh store seeded
+            # at the recovered prefix.
+            epoch_pins_checked += 1
+            restart_after = tuple(
+                restart_pin.coreness_many(range(n)).tolist()
+            )
+            if restart_after != restart_before:
+                epoch_pin_mismatches.append(i)
+            restart_pin.release()
             # Durability contract: recovery lands on a consistent prefix.
             history = [r for r in history if r.seq <= report.recovered_through]
             live = set()
@@ -331,7 +375,13 @@ def _run_chaos_inner(
         structure_ok = False
     edges_ok = set(map(tuple, service.impl.graph.edges())) == live
     health_ok = service.health in (HealthState.HEALTHY, HealthState.DEGRADED)
-    converged = not mismatches and structure_ok and edges_ok and health_ok
+    converged = (
+        not mismatches
+        and structure_ok
+        and edges_ok
+        and health_ok
+        and not epoch_pin_mismatches
+    )
     if not converged:
         # Divergent verdict: capture the timeline for the post-mortem.
         service.dump_flight_record("diverged")
@@ -354,6 +404,9 @@ def _run_chaos_inner(
         converged=converged,
         telemetry=service.telemetry.as_dict(),
         crash_dumps=tuple(crash_dumps),
+        epoch_pins_checked=epoch_pins_checked,
+        epoch_pin_mismatches=tuple(epoch_pin_mismatches),
+        epoch_pins_advanced=epoch_pins_advanced,
     )
 
 
@@ -434,10 +487,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{total_faults} faults, "
         f"{sum(r.recoveries for r in results)} recoveries, "
         f"{sum(r.quarantined for r in results)} quarantined updates, "
+        f"{sum(r.epoch_pins_checked for r in results)} epoch-pin probes "
+        f"({sum(r.epoch_pins_advanced for r in results)} force-advanced), "
         f"{len(failures)} divergences"
     )
     for r in failures:
         print(f"  seed {r.seed}: mismatches={r.mismatches} "
+              f"pin_mismatches={r.epoch_pin_mismatches} "
               f"health={r.final_health}")
     if record:
         total_dumps = sum(len(r.crash_dumps) for r in results)

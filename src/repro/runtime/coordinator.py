@@ -16,6 +16,16 @@ path of its motivation).  :class:`BatchCoordinator` is that layer:
 * reads go straight to the underlying structure at any time — that is the
   whole point of the paper.
 
+The coordinator is also the front door of the epoch-snapshot read tier
+(:mod:`repro.reads`): :attr:`BatchCoordinator.current_epoch` exposes the
+engine's batch epoch as the cache key a service front-end can vary
+responses on, :meth:`BatchCoordinator.read_ticketed` returns reads tagged
+with the epoch they are valid at (``stable`` tickets are cacheable until
+the epoch advances), and :meth:`BatchCoordinator.pin_epoch` hands out
+bulk-read pins when an :class:`~repro.reads.EpochSnapshotStore` is
+attached (``epoch_store=`` at construction, or via
+:func:`repro.reads.attach_epoch_store`).
+
 Failure contract: **no ticket is ever stranded**.  Every submitted ticket
 either completes (``applied_in_batch`` set) or fails with a typed error
 (:class:`~repro.errors.CoordinatorClosedError`,
@@ -103,6 +113,24 @@ class UpdateTicket:
         return self._event.is_set() and self.error is not None
 
 
+@dataclass(frozen=True)
+class EpochReadTicket:
+    """One read tagged with the epoch it linearized at.
+
+    ``stable`` is True when the engine's epoch did not advance across the
+    read — the estimate is exactly the state of ``epoch``, so a caching
+    front-end may serve it for every request keyed by that epoch.  An
+    unstable ticket (a batch landed mid-read) is still a correct
+    sandwiched read, but is not cacheable: ``epoch`` then reports the
+    epoch observed *after* the read.
+    """
+
+    vertex: Vertex
+    estimate: float
+    epoch: int
+    stable: bool
+
+
 class BatchCoordinator:
     """Accumulate concurrent updates into batches and apply them in order.
 
@@ -118,6 +146,11 @@ class BatchCoordinator:
         update arrived (latency bound for sparse update streams).
     queue_capacity:
         Back-pressure bound on pending submissions.
+    epoch_store:
+        Optional :class:`~repro.reads.EpochSnapshotStore` to attach to
+        ``impl`` (CPLDS family only) before the update thread starts, so
+        every applied batch publishes an epoch snapshot for
+        :meth:`pin_epoch` readers.
     """
 
     def __init__(
@@ -127,11 +160,16 @@ class BatchCoordinator:
         max_batch: int = 1024,
         max_delay: float = 0.01,
         queue_capacity: int = 65536,
+        epoch_store=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay <= 0:
             raise ValueError("max_delay must be positive")
+        if epoch_store is not None:
+            from repro.reads import attach_epoch_store
+
+            attach_epoch_store(impl, epoch_store)
         self.impl = impl
         self.max_batch = max_batch
         self.max_delay = max_delay
@@ -179,6 +217,51 @@ class BatchCoordinator:
     def read(self, v: Vertex) -> float:
         """Pass-through asynchronous read (the paper's low-latency path)."""
         return self.impl.read(v)
+
+    # ------------------------------------------------------------------
+    # Epoch-tagged reads (the read tier's front door)
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        """The engine's batch epoch right now — the service cache key."""
+        return int(getattr(self.impl, "batch_number", self.batches_applied))
+
+    @property
+    def epoch_store(self):
+        """The attached epoch store, or None (see :mod:`repro.reads`)."""
+        return getattr(self.impl, "epoch_store", None)
+
+    def read_ticketed(self, v: Vertex, max_attempts: int = 8) -> EpochReadTicket:
+        """Read ``v`` tagged with the epoch it is valid at.
+
+        Sandwiches the engine read between two epoch observations; when
+        they agree, the ticket is ``stable`` — the estimate is exactly
+        epoch ``epoch``'s state and cacheable under that key.  After
+        ``max_attempts`` racing batches, returns the (still correct) last
+        read flagged unstable instead of spinning against a hot writer.
+        """
+        e2 = self.current_epoch
+        estimate = self.read(v)
+        for _ in range(max_attempts):
+            e1 = e2
+            e2 = self.current_epoch
+            if e1 == e2:
+                return EpochReadTicket(v, estimate, e2, True)
+            estimate = self.read(v)
+        return EpochReadTicket(v, estimate, self.current_epoch, False)
+
+    def pin_epoch(self, epoch: int | None = None):
+        """Pin an epoch for bulk reads (newest by default).
+
+        Requires an attached epoch store; see
+        :meth:`repro.reads.EpochSnapshotStore.pin`.
+        """
+        store = self.epoch_store
+        if store is None:
+            raise ValueError(
+                "no epoch store attached (pass epoch_store= at construction)"
+            )
+        return store.pin(epoch)
 
     # ------------------------------------------------------------------
     # Lifecycle

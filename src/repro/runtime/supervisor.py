@@ -16,8 +16,10 @@ supervisor implementing the recovery contract documented in
   updates, quarantining only those (their tickets fail with
   :class:`~repro.errors.PoisonUpdateError`; the rest of the batch commits);
 * while recovery is in flight, **reads never block and never fail**: they
-  are served from the last-known-good coreness snapshot, tagged ``stale``,
-  preserving the paper's asynchronous-reads guarantee across faults;
+  are served from the newest epoch retained by the multi-version read tier
+  (:mod:`repro.reads` — the same store that serves bulk epoch reads),
+  tagged ``stale``, preserving the paper's asynchronous-reads guarantee
+  across faults;
 * the service's condition is surfaced as a **health state machine**
   (HEALTHY → RECOVERING → DEGRADED → FAILED) whose transitions and counters
   live in :class:`~repro.harness.telemetry.ServiceTelemetry`.
@@ -52,6 +54,7 @@ from repro.obs.staleness import (
     RECOVERY_SECONDS as _RECOVERY_SECONDS,
     SNAPSHOT_AGE as _SNAPSHOT_AGE,
 )
+from repro.reads import EpochSnapshotStore
 from repro.runtime.coordinator import BatchCoordinator
 from repro.types import Edge, Vertex, canonical_edge
 
@@ -68,7 +71,7 @@ class HealthState(enum.Enum):
         Normal operation; reads are live, batches apply directly.
     ``RECOVERING``
         A batch died and the supervisor is restoring/retrying; reads are
-        served from the last-known-good snapshot, tagged stale.
+        served from the newest retained epoch, tagged stale.
     ``DEGRADED``
         The structure is consistent again but the service recently dropped
         updates (poison quarantine); clears back to HEALTHY after a run of
@@ -77,7 +80,7 @@ class HealthState(enum.Enum):
         Recovery was exhausted (e.g. the journal is corrupt mid-stream);
         terminal.  Submissions raise
         :class:`~repro.errors.ServiceFailedError`; reads keep serving the
-        stale snapshot.
+        newest retained epoch.
     """
 
     HEALTHY = "healthy"
@@ -111,9 +114,9 @@ _ALLOWED_TRANSITIONS = {
 class ServiceRead:
     """One read served by the supervised layer.
 
-    ``stale`` is True when the estimate came from the last-known-good
-    snapshot (recovery in flight) rather than the live structure; ``batch``
-    is the batch number the estimate reflects.
+    ``stale`` is True when the estimate came from the newest epoch
+    retained by the read tier (recovery in flight) rather than the live
+    structure; ``batch`` is the batch epoch the estimate reflects.
     """
 
     estimate: float
@@ -175,21 +178,6 @@ class RecoveryReport:
     torn_tail: bool
     #: Checkpoints that failed validation and were skipped.
     checkpoints_rejected: int
-
-
-class _Snapshot:
-    """Immutable last-known-good coreness view (levels + params)."""
-
-    __slots__ = ("levels", "batch", "params")
-
-    def __init__(self, levels, batch: int, params: LDSParams) -> None:
-        self.levels = levels
-        self.batch = batch
-        self.params = params
-
-    def estimate(self, v: Vertex) -> float:
-        """Coreness estimate of ``v`` as of the snapshot's batch."""
-        return self.params.coreness_estimate(self.levels[v])
 
 
 def _cplds_from_genesis(genesis: dict) -> CPLDS:
@@ -321,9 +309,18 @@ class SupervisedCPLDS:
     degraded_clearance:
         Clean batches required to clear DEGRADED back to HEALTHY.
     snapshot_every:
-        Refresh the last-known-good read snapshot every this many committed
-        batches (1 = after every batch; larger trades staleness for an
-        O(n)-copy saving on huge graphs).
+        Publish cadence of the epoch-snapshot read tier: the attached
+        :class:`~repro.reads.EpochSnapshotStore` accepts every epoch
+        divisible by this (1 = every batch; larger trades read-tier
+        freshness for an O(n)-copy saving on huge graphs).  Degraded
+        reads are served from the newest epoch the cadence retained.
+    epoch_window:
+        How many epoch snapshots the read tier retains for pinned bulk
+        reads (see :mod:`repro.reads`).
+    epoch_max_staleness:
+        Bounded-staleness budget forwarded to the epoch store: pins
+        falling more than this many epochs behind are force-advanced
+        (``None`` disables the budget).
     """
 
     def __init__(
@@ -337,12 +334,14 @@ class SupervisedCPLDS:
         backoff_base: float = 0.05,
         degraded_clearance: int = 3,
         snapshot_every: int = 1,
+        epoch_window: int = 8,
+        epoch_max_staleness: int | None = None,
         sync: bool = False,
         sleep: Callable[[float], None] = time.sleep,
         telemetry: ServiceTelemetry | None = None,
         crash_dump_dir: str | os.PathLike[str] | None = None,
     ) -> None:
-        from repro.persist import BatchJournal
+        from repro.persist import BatchJournal, seed_epoch_store
 
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -377,9 +376,17 @@ class SupervisedCPLDS:
         self._next_seq = 1  # used only when journaling is disabled
         self._last_seq = 0
         self._committed_since_checkpoint = 0
-        self._committed_since_snapshot = 0
         self._degraded_countdown = 0
-        self._snapshot = self._take_snapshot()
+        #: The multi-version read tier.  Seeded with the adopted structure's
+        #: current state (so degraded reads work from batch zero), published
+        #: to by the engine at every accepted ``batch_end``, and re-seeded
+        #: after every recovery (:func:`repro.persist.seed_epoch_store`).
+        self.epoch_store = EpochSnapshotStore(
+            window=epoch_window,
+            max_staleness=epoch_max_staleness,
+            publish_every=snapshot_every,
+        )
+        seed_epoch_store(impl, self.epoch_store)
 
         if journal_dir is not None:
             directory = os.fspath(journal_dir)
@@ -467,17 +474,27 @@ class SupervisedCPLDS:
             return self._stale_read(v, self.health)
 
     def _stale_read(self, v: Vertex, health: HealthState) -> ServiceRead:
-        """Serve ``v`` from the last-known-good snapshot, accounting its
-        age (live batch number minus the snapshot's) in epochs."""
-        snap = self._snapshot
+        """Serve ``v`` from the newest retained epoch, accounting its age
+        (live batch number minus the served epoch) in epochs."""
+        snap = self.epoch_store.newest()
+        assert snap is not None  # seeded at construction, never emptied
         self.telemetry.stale_reads += 1
-        age = max(0, self.impl.batch_number - snap.batch)
+        age = max(0, self.impl.batch_number - snap.epoch)
         self.telemetry.note_stale_read_age(age)
         if _OBS.enabled:
             _SNAPSHOT_AGE.observe(age)
         if _REC.enabled:
-            _REC.record(_EV.STALE_READ, v, age, snap.batch)
-        return ServiceRead(snap.estimate(v), True, health, snap.batch)
+            _REC.record(_EV.STALE_READ, v, age, snap.epoch)
+        return ServiceRead(snap.estimate(v), True, health, snap.epoch)
+
+    def pin_epoch(self, epoch: int | None = None):
+        """Pin an epoch in the read tier for bulk reads (newest by default).
+
+        See :meth:`repro.reads.EpochSnapshotStore.pin`; reads through the
+        returned pin never touch the live structure, so they stay
+        consistent through recoveries and health transitions.
+        """
+        return self.epoch_store.pin(epoch)
 
     # ------------------------------------------------------------------
     # Updates (single supervised writer)
@@ -646,12 +663,8 @@ class SupervisedCPLDS:
         self._last_seq = seq
         self.telemetry.batches_applied += 1
         self._committed_since_checkpoint += 1
-        self._committed_since_snapshot += 1
         if self.health is HealthState.RECOVERING:
             self._set_health(HealthState.HEALTHY)
-        if self._committed_since_snapshot >= self.snapshot_every:
-            self._snapshot = self._take_snapshot()
-            self._committed_since_snapshot = 0
 
     def _drop_all(
         self, ins: list[Edge], dels: list[Edge], outcome: BatchOutcome
@@ -696,10 +709,13 @@ class SupervisedCPLDS:
             self.impl = impl
             if self.post_restore is not None:
                 self.post_restore(impl)
-            # The restored structure is consistent: refresh the read snapshot
+            # The restored structure is consistent: re-anchor the read tier
+            # at the recovered epoch — rolled-back epochs are dropped, and
+            # the (possibly fresh) structure publishes into the same store
             # (readers keep the stale tag until a batch commits again).
-            self._snapshot = self._take_snapshot()
-            self._committed_since_snapshot = 0
+            from repro.persist import seed_epoch_store
+
+            seed_epoch_store(impl, self.epoch_store)
             if _OBS.enabled:
                 _RECOVERY_SECONDS.observe(time.perf_counter() - started)
             if _REC.enabled:
@@ -745,12 +761,6 @@ class SupervisedCPLDS:
         self.crash_dumps.append(name)
         return path
 
-    def _take_snapshot(self) -> _Snapshot:
-        impl = self.impl
-        return _Snapshot(
-            impl.plds.state.snapshot_levels(), impl.batch_number, impl.params
-        )
-
     def _write_checkpoint(self) -> None:
         from repro.persist import save_cplds
 
@@ -786,8 +796,10 @@ class SupervisedCoordinator(BatchCoordinator):
     that only the offending updates' tickets fail (with
     :class:`~repro.errors.PoisonUpdateError`); everything else commits.
     Reads served through :meth:`read` / :meth:`read_tagged` degrade to the
-    last-known-good snapshot while recovery is in flight instead of ever
-    blocking or raising.
+    newest retained epoch while recovery is in flight instead of ever
+    blocking or raising; :meth:`~repro.runtime.coordinator.
+    BatchCoordinator.pin_epoch` serves bulk reads from the service's own
+    epoch store.
 
     Supervision parameters (``journal_dir``, ``checkpoint_every``,
     ``max_retries``, ...) are forwarded to :class:`SupervisedCPLDS`;

@@ -12,6 +12,7 @@ error against exact ground truth, powering the Fig 6 reproduction.
 
 from repro.verify.history import (
     BatchRecord,
+    EpochReadRecord,
     History,
     LogicalClock,
     ReadRecord,
@@ -23,6 +24,7 @@ from repro.verify.monitor import InvariantMonitor, attach_monitor
 
 __all__ = [
     "BatchRecord",
+    "EpochReadRecord",
     "History",
     "LogicalClock",
     "ReadRecord",

@@ -12,7 +12,12 @@ read/update surface and records:
   *level* the estimate was computed from, and which batch it claimed;
 * one :class:`BatchRecord` per batch: start/end ticks, the post-batch level
   snapshot, which vertices changed level, and (when the implementation
-  tracks them, as the CPLDS does) the dependency-DAG partition of the batch.
+  tracks them, as the CPLDS does) the dependency-DAG partition of the batch;
+* one :class:`EpochReadRecord` per bulk read through the epoch-snapshot
+  read tier (:meth:`RecordedKCore.read_epoch`): the pinned epoch, the
+  newest epoch at pin time, and the levels of every queried vertex —
+  the checker verifies the whole bulk read is exactly the state after
+  the pinned batch (linearizable *at that epoch*).
 """
 
 from __future__ import annotations
@@ -66,6 +71,37 @@ class ReadRecord:
 
 
 @dataclass(frozen=True)
+class EpochReadRecord:
+    """One completed bulk read against a pinned epoch.
+
+    ``epoch`` is the epoch the read was served at (after any
+    force-advance); ``latest_epoch`` is the newest epoch the store had
+    published when the pin was taken, so ``latest_epoch - epoch`` is the
+    read's staleness in epochs (never negative by construction: the
+    latest epoch is sampled *before* pinning).
+    """
+
+    vertices: tuple[Vertex, ...]
+    levels: tuple[int, ...]
+    epoch: int
+    latest_epoch: int
+    invoked: int
+    responded: int
+
+    def __post_init__(self) -> None:
+        if self.responded < self.invoked:
+            raise HistoryError(
+                f"epoch read at epoch {self.epoch} responded at "
+                f"{self.responded} before invocation at {self.invoked}"
+            )
+        if len(self.levels) != len(self.vertices):
+            raise HistoryError(
+                f"epoch read at epoch {self.epoch} returned {len(self.levels)} "
+                f"levels for {len(self.vertices)} vertices"
+            )
+
+
+@dataclass(frozen=True)
 class BatchRecord:
     """One completed update batch."""
 
@@ -95,6 +131,7 @@ class History:
     initial_levels: tuple[int, ...]
     batches: list[BatchRecord] = field(default_factory=list)
     reads: list[ReadRecord] = field(default_factory=list)
+    epoch_reads: list[EpochReadRecord] = field(default_factory=list)
 
     @property
     def num_vertices(self) -> int:
@@ -150,6 +187,37 @@ class RecordedKCore:
         with self._reads_lock:
             self.history.reads.append(rec)
         return result.estimate
+
+    def read_epoch(self, store, vertices=None) -> tuple[int, ...]:
+        """Bulk-read ``vertices`` (default: all) from a pinned epoch.
+
+        Pins the newest epoch of ``store`` (an
+        :class:`~repro.reads.EpochSnapshotStore`), reads every queried
+        vertex's level through the pin, and records the whole bulk read
+        as one :class:`EpochReadRecord`.  The newest epoch is sampled
+        *before* pinning so the recorded staleness is never spuriously
+        positive.  Callable from any reader thread.
+        """
+        if vertices is None:
+            vertices = range(self.history.num_vertices)
+        verts = tuple(int(v) for v in vertices)
+        invoked = self.clock.tick()
+        latest = store.latest_epoch
+        with store.pin() as pin:
+            levels = tuple(int(x) for x in pin.levels_many(verts))
+            epoch = pin.epoch
+        responded = self.clock.tick()
+        rec = EpochReadRecord(
+            vertices=verts,
+            levels=levels,
+            epoch=epoch,
+            latest_epoch=epoch if latest is None else max(latest, epoch),
+            invoked=invoked,
+            responded=responded,
+        )
+        with self._reads_lock:
+            self.history.epoch_reads.append(rec)
+        return levels
 
     # ------------------------------------------------------------------
     # Updates

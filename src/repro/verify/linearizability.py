@@ -23,6 +23,16 @@ Rule C — **DAG atomicity**: all level changes in one dependency DAG linearize
   another member's pre-batch value.  The §4 strawman fails this under the
   schedule built in ``tests/test_linearizability.py``.
 
+Rule E — **epoch exactness**: a bulk read pinned to epoch ``e`` (an
+  :class:`~repro.verify.history.EpochReadRecord` from the multi-version
+  read tier, :mod:`repro.reads`) must return, for *every* queried vertex,
+  exactly the level after batch ``e`` (the initial level for ``e = 0``) —
+  unlike sandwiched reads there is no one-epoch ambiguity, the whole bulk
+  read linearizes atomically at the pinned batch's end — and cannot
+  respond before that batch started (no reading the future).
+  :meth:`LinearizabilityChecker.epoch_staleness_violations` additionally
+  bounds ``latest_epoch - epoch`` against a staleness budget.
+
 Version windows
 ---------------
 A version of vertex ``v`` introduced by batch ``b`` can be observed no
@@ -46,7 +56,7 @@ from repro.verify.history import History, ReadRecord
 class Violation:
     """One detected linearizability violation."""
 
-    rule: str  # "A", "B", or "C"
+    rule: str  # "A", "B", "C", or "E"
     message: str
     reads: tuple[ReadRecord, ...] = ()
 
@@ -83,6 +93,7 @@ class LinearizabilityChecker:
         out = list(rule_a)
         out.extend(self._check_rule_b(analyzed))
         out.extend(self._check_rule_c(analyzed))
+        out.extend(self._check_rule_e())
         return out
 
     def check(self) -> None:
@@ -192,6 +203,86 @@ class LinearizabilityChecker:
                             reads=(best.record, ar.record),
                         )
                     )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Rule E: epoch exactness (bulk reads from the read tier)
+    # ------------------------------------------------------------------
+    def _check_rule_e(self) -> list[Violation]:
+        violations: list[Violation] = []
+        for rec in self.history.epoch_reads:
+            if rec.epoch == 0:
+                expected = self.history.initial_levels
+                started = float("-inf")
+            else:
+                batch = self._batch_by_index.get(rec.epoch)
+                if batch is None:
+                    violations.append(
+                        Violation(
+                            rule="E",
+                            message=(
+                                f"epoch read over ticks [{rec.invoked}, "
+                                f"{rec.responded}] claims epoch {rec.epoch}, "
+                                f"which no recorded batch produced"
+                            ),
+                        )
+                    )
+                    continue
+                expected = batch.levels_after
+                started = batch.started
+            mismatches = [
+                (v, got, expected[v])
+                for v, got in zip(rec.vertices, rec.levels)
+                if got != expected[v]
+            ]
+            if mismatches:
+                v, got, want = mismatches[0]
+                violations.append(
+                    Violation(
+                        rule="E",
+                        message=(
+                            f"epoch read at epoch {rec.epoch}: vertex {v} "
+                            f"returned level {got} but the epoch-{rec.epoch} "
+                            f"state has level {want} "
+                            f"({len(mismatches)} mismatching vertices)"
+                        ),
+                    )
+                )
+                continue
+            if rec.responded < started:
+                violations.append(
+                    Violation(
+                        rule="E",
+                        message=(
+                            f"epoch read responded at tick {rec.responded} "
+                            f"but claims epoch {rec.epoch}, whose batch only "
+                            f"started at tick {started} — it observed the "
+                            f"future"
+                        ),
+                    )
+                )
+        return violations
+
+    def epoch_staleness_violations(self, max_staleness: int) -> list[Violation]:
+        """Epoch reads that exceeded a bounded-staleness budget.
+
+        Separate from :meth:`violations` because the budget is a policy
+        choice of the store under test, not a linearizability rule.
+        """
+        violations: list[Violation] = []
+        for rec in self.history.epoch_reads:
+            staleness = rec.latest_epoch - rec.epoch
+            if staleness > max_staleness:
+                violations.append(
+                    Violation(
+                        rule="E",
+                        message=(
+                            f"epoch read served at epoch {rec.epoch} was "
+                            f"{staleness} epochs behind the newest "
+                            f"({rec.latest_epoch}); budget is {max_staleness}"
+                        ),
+                    )
+                )
         return violations
 
     # ------------------------------------------------------------------

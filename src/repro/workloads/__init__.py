@@ -11,16 +11,27 @@ for the duration of each batch.
 from repro.workloads import adversarial
 from repro.workloads.batches import Batch, BatchStream, split_into_batches
 from repro.workloads.mixes import (
+    BulkReadOp,
     MixedBatch,
     MixedStreamGenerator,
+    ReadHeavyMixGenerator,
     preprocess_mixed_batch,
 )
 from repro.workloads.reads import UniformReadGenerator, ZipfReadGenerator
-from repro.workloads.runner import ReplayResult, replay_stream
+from repro.workloads.runner import (
+    ReadHeavyResult,
+    ReplayResult,
+    replay_stream,
+    run_read_heavy,
+)
 
 __all__ = [
+    "ReadHeavyResult",
     "ReplayResult",
     "replay_stream",
+    "run_read_heavy",
+    "BulkReadOp",
+    "ReadHeavyMixGenerator",
     "adversarial",
     "Batch",
     "BatchStream",

@@ -6,7 +6,10 @@ pre-processing" (§2).  :func:`preprocess_mixed_batch` implements that
 separation with the standard cancellation rules, and
 :class:`MixedStreamGenerator` fabricates sliding-window style churn streams
 (edges arrive, live for a while, and depart) for the extension benches and
-examples.
+examples.  :class:`ReadHeavyMixGenerator` layers a read-dominated query
+schedule on top of such a churn stream — seeded bursts of bulk reads
+between update batches — for driving the epoch-snapshot read tier
+(:mod:`repro.reads`) via :func:`repro.workloads.runner.run_read_heavy`.
 """
 
 from __future__ import annotations
@@ -106,3 +109,60 @@ class MixedStreamGenerator:
             total_ins += ins
             total_del += dels
         return total_ins, total_del
+
+
+@dataclass(frozen=True)
+class BulkReadOp:
+    """One bulk read in a read-heavy mix: query these vertices' coreness."""
+
+    vertices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+class ReadHeavyMixGenerator:
+    """Read-dominated workload: churn updates with bulk-read bursts between.
+
+    Wraps a :class:`MixedStreamGenerator` and, after every update batch,
+    yields a seeded burst of :class:`BulkReadOp` items — contiguous vertex
+    blocks, which is the access shape the epoch read tier's
+    ``coreness_many`` is built for.  Iteration yields ``("update", batch)``
+    and ``("read", op)`` pairs; everything is a pure function of ``seed``.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[Edge],
+        num_vertices: int,
+        batch_size: int,
+        *,
+        reads_per_batch: int = 8,
+        read_block: int = 64,
+        window: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if num_vertices <= 0:
+            raise WorkloadError("num_vertices must be positive")
+        if reads_per_batch < 0:
+            raise WorkloadError("reads_per_batch must be >= 0")
+        if read_block <= 0:
+            raise WorkloadError("read_block must be positive")
+        self.updates = MixedStreamGenerator(
+            edges, batch_size, window=window, seed=seed
+        )
+        self.num_vertices = num_vertices
+        self.reads_per_batch = reads_per_batch
+        self.read_block = min(read_block, num_vertices)
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[tuple[str, MixedBatch | BulkReadOp]]:
+        rng = np.random.default_rng(self.seed + 1)
+        hi = self.num_vertices - self.read_block
+        for batch in self.updates:
+            yield "update", batch
+            for _ in range(self.reads_per_batch):
+                lo = int(rng.integers(0, hi + 1)) if hi > 0 else 0
+                yield "read", BulkReadOp(
+                    vertices=tuple(range(lo, lo + self.read_block))
+                )

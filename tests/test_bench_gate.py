@@ -199,11 +199,13 @@ def test_slo_none_valued_fields_are_skipped():
 
 
 def test_checked_in_baseline_has_metrics():
-    """The repo's own BENCH_pr7.json must carry the work-counter section
-    the CI gate depends on, for every backend."""
+    """The repo's checked-in baseline (BENCH_ARTIFACT) must carry the
+    work-counter section the CI gate depends on, for every backend."""
     import os
 
-    path = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pr7.json")
+    from repro.harness.bench_json import BENCH_ARTIFACT
+
+    path = os.path.join(os.path.dirname(__file__), os.pardir, BENCH_ARTIFACT)
     with open(path) as fh:
         doc = json.load(fh)
     for backend in ("object", "columnar", "columnar-frontier"):

@@ -13,6 +13,7 @@ from repro.runtime.chaos import run_chaos
 def assert_converged(result):
     assert result.converged, (
         f"seed {result.seed} diverged: mismatches={result.mismatches} "
+        f"pin_mismatches={result.epoch_pin_mismatches} "
         f"health={result.final_health} telemetry={result.telemetry}"
     )
 
@@ -47,6 +48,8 @@ class TestSmoke:
             "poison_edges", "restarts", "truncated_bytes",
             "checkpoints_corrupted", "quarantined", "recoveries",
             "final_health", "mismatches", "converged",
+            "epoch_pins_checked", "epoch_pin_mismatches",
+            "epoch_pins_advanced",
         ):
             assert getattr(a, field) == getattr(b, field), field
 
@@ -55,6 +58,14 @@ class TestSmoke:
         assert r.crashes_armed > 0
         assert r.restarts > 0
         assert r.recoveries > 0
+
+    def test_epoch_pins_probed_every_batch_and_restart(self, tmp_path):
+        """Each batch plus each simulated restart runs under a held pin;
+        all probes must read bit-identically (or be force-advanced by a
+        rollback, never silently mutated)."""
+        r = run_chaos(0, tmp_path)
+        assert r.epoch_pins_checked == r.batches_submitted + r.restarts
+        assert r.epoch_pin_mismatches == ()
 
 
 @pytest.mark.chaos

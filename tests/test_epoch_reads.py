@@ -1,0 +1,290 @@
+"""Unit tests for the multi-version epoch-snapshot read tier.
+
+Covers the store's retention/pin/staleness mechanics, snapshot bulk
+queries against quiescent engine reads on every backend, the wiring
+through ``engines.create`` and the coordinator, and the supervisor's
+degraded-read + recovery re-seeding paths.  The threaded rule-E histories
+live in ``tests/test_threaded_linearizability.py``; the crash-with-pins
+schedules in ``tests/test_chaos.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engines
+from repro.core import CPLDS
+from repro.errors import EpochUnavailableError
+from repro.lds.store import BACKENDS
+from repro.obs import REGISTRY
+from repro.reads import EpochSnapshotStore, attach_epoch_store
+from repro.runtime.coordinator import BatchCoordinator
+from repro.runtime.inject import HookChain
+from repro.runtime.supervisor import HealthState, SupervisedCPLDS
+from repro.runtime.chaos import ChaosHooks
+
+EDGES = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (1, 5)]
+
+
+def engine_with_store(backend="object", n=8, **store_kw):
+    store = EpochSnapshotStore(**store_kw)
+    eng = engines.create("cplds", n, backend=backend, epoch_store=store)
+    return eng, store
+
+
+class TestSnapshotQueries:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bulk_reads_match_quiescent_engine(self, backend):
+        eng, store = engine_with_store(backend)
+        eng.insert_batch(EDGES)
+        snap = store.newest()
+        assert snap.epoch == eng.batch_number == 1
+        n = snap.num_vertices
+        assert list(snap.levels) == list(eng.levels())
+        assert [snap.estimate(v) for v in range(n)] == [
+            eng.read(v) for v in range(n)
+        ]
+        np.testing.assert_array_equal(
+            snap.coreness_many(), [eng.read(v) for v in range(n)]
+        )
+        np.testing.assert_array_equal(
+            snap.levels_many([3, 1, 4]), [snap.level(3), snap.level(1), snap.level(4)]
+        )
+        assert snap.subgraph_coreness([5, 0]) == {
+            5: eng.read(5), 0: eng.read(0)
+        }
+
+    def test_top_k_is_deterministic_desc_then_vertex(self):
+        eng, store = engine_with_store("columnar")
+        eng.insert_batch(EDGES)
+        snap = store.newest()
+        top = snap.top_k(4)
+        assert len(top) == 4
+        ests = [e for _, e in top]
+        assert ests == sorted(ests, reverse=True)
+        # Ties broken by ascending vertex id.
+        for (v1, e1), (v2, e2) in zip(top, top[1:]):
+            if e1 == e2:
+                assert v1 < v2
+        assert snap.top_k(0) == []
+
+    def test_level_histogram_counts_every_vertex(self):
+        eng, store = engine_with_store("columnar-frontier")
+        eng.insert_batch(EDGES)
+        snap = store.newest()
+        hist = snap.level_histogram()
+        assert hist.sum() == snap.num_vertices
+        assert len(hist) == eng.params.num_levels
+        for lvl in snap.levels:
+            assert hist[lvl] >= 1
+
+    def test_snapshot_levels_are_frozen(self):
+        eng, store = engine_with_store()
+        eng.insert_batch(EDGES)
+        snap = store.newest()
+        with pytest.raises(ValueError):
+            snap.levels[0] = 99
+
+
+class TestStoreRetention:
+    def test_window_evicts_oldest_unpinned(self):
+        eng, store = engine_with_store(window=2)
+        for k in range(4):
+            eng.insert_batch([EDGES[k]])
+        assert store.retained_epochs() == (3, 4)
+        assert store.latest_epoch == 4
+        assert store.evicted_total >= 3  # seed epoch 0 plus epochs 1, 2
+
+    def test_pin_blocks_eviction_until_release(self):
+        eng, store = engine_with_store(window=2)
+        eng.insert_batch([EDGES[0]])
+        pin = store.pin(1)
+        for k in range(1, 4):
+            eng.insert_batch([EDGES[k]])
+        assert 1 in store.retained_epochs()  # pinned epoch survives
+        before = list(pin.levels_many(range(8)))
+        pin.release()
+        assert 1 not in store.retained_epochs()  # release enables eviction
+        assert store.retained_epochs() == (3, 4)
+        assert pin.released
+        with pytest.raises(EpochUnavailableError):
+            pin.coreness_many()
+        assert before  # the pre-release read went through
+
+    def test_publish_cadence_skips_epochs(self):
+        eng, store = engine_with_store(publish_every=2, window=8)
+        for k in range(5):
+            eng.insert_batch([EDGES[k]])
+        # Seed epoch 0 plus the even epochs; odd epochs never published.
+        assert store.retained_epochs() == (0, 2, 4)
+        assert not store.accepts(3)
+        assert store.accepts(4)
+
+    def test_pin_unknown_epoch_raises(self):
+        eng, store = engine_with_store(window=1)
+        eng.insert_batch(EDGES)
+        with pytest.raises(EpochUnavailableError):
+            store.pin(0)  # evicted by window=1
+        with pytest.raises(EpochUnavailableError):
+            store.pin(7)  # never published
+        with pytest.raises(EpochUnavailableError):
+            EpochSnapshotStore().pin()  # nothing published yet
+
+
+class TestStalenessPolicy:
+    def test_over_budget_pin_is_force_advanced(self):
+        eng, store = engine_with_store(window=8, max_staleness=2)
+        eng.insert_batch([EDGES[0]])
+        pin = store.pin()  # epoch 1
+        eng.insert_batch([EDGES[1]])
+        eng.insert_batch([EDGES[2]])
+        assert pin.advanced == 0  # staleness 2 == budget: still pinned
+        eng.insert_batch([EDGES[3]])  # staleness 3 > budget
+        assert pin.epoch == 4
+        assert pin.advanced == 1
+        np.testing.assert_array_equal(
+            pin.levels_many(range(8)), store.newest().levels
+        )
+
+    def test_within_budget_pin_reads_bit_identical(self):
+        eng, store = engine_with_store(window=8, max_staleness=None)
+        eng.insert_batch(EDGES[:4])
+        pin = store.pin()
+        before = pin.coreness_many(range(8)).tolist()
+        eng.insert_batch(EDGES[4:])
+        eng.delete_batch(EDGES[:2])
+        assert pin.advanced == 0
+        assert pin.coreness_many(range(8)).tolist() == before
+
+    def test_reseed_drops_rolled_back_epochs_and_advances_pins(self):
+        eng, store = engine_with_store(window=8)
+        eng.insert_batch(EDGES[:3])
+        eng.insert_batch(EDGES[3:6])
+        pin_old = store.pin(1)
+        pin_new = store.pin(2)
+        # Roll history back to epoch 1 (as a recovery would).
+        store.reseed(1, eng.plds.state.snapshot_levels(), params=eng.params)
+        assert store.latest_epoch == 1
+        assert 2 not in store.retained_epochs()
+        # The rolled-back pin advances at its next read; the surviving
+        # pin keeps serving its (still retained) epoch.
+        pin_new.level(0)
+        assert pin_new.advanced == 1 and pin_new.epoch == 1
+        pin_old.level(0)
+        assert pin_old.advanced == 0 and pin_old.epoch == 1
+
+
+class TestWiring:
+    def test_attach_requires_the_epoch_seam(self):
+        store = EpochSnapshotStore()
+        baseline = engines.create("nonsync", 8)
+        with pytest.raises(TypeError):
+            attach_epoch_store(baseline, store)
+        with pytest.raises(TypeError):
+            engines.create("nonsync", 8, epoch_store=EpochSnapshotStore())
+
+    def test_attach_seeds_current_state(self):
+        eng = engines.create("cplds", 8, backend="columnar")
+        eng.insert_batch(EDGES)
+        store = EpochSnapshotStore()
+        attach_epoch_store(eng, store)
+        assert store.latest_epoch == eng.batch_number
+        assert list(store.newest().levels) == list(eng.levels())
+
+    def test_obs_counters_account_pins_and_reads(self):
+        from repro import obs
+
+        was = obs.enabled()
+        obs.reset()
+        obs.enable()
+        try:
+            eng, store = engine_with_store()
+            eng.insert_batch(EDGES)
+            with store.pin() as pin:
+                pin.coreness_many()
+                pin.top_k(3)
+            assert REGISTRY.counter_value("epoch_pins_total") == 1
+            assert REGISTRY.counter_value("epoch_reads_total") == 2
+            hist = REGISTRY._histograms.get(("epoch_read_staleness_epochs", ()))
+            assert hist is not None and hist.count == 2
+        finally:
+            REGISTRY.enabled = was
+            obs.reset()
+
+
+class TestCoordinatorFrontDoor:
+    def test_epoch_store_and_tickets(self):
+        store = EpochSnapshotStore()
+        impl = CPLDS(8)
+        with BatchCoordinator(
+            impl, max_batch=4, max_delay=0.005, epoch_store=store
+        ) as co:
+            assert co.epoch_store is store
+            tickets = [co.submit_insert(u, v) for u, v in EDGES]
+            for t in tickets:
+                t.wait(10.0)
+            co.flush()
+            assert co.current_epoch == impl.batch_number > 0
+            ticket = co.read_ticketed(2)
+            assert ticket.stable
+            assert ticket.epoch == co.current_epoch
+            assert ticket.estimate == impl.read(2)
+            with co.pin_epoch() as pin:
+                assert pin.epoch == co.current_epoch
+                assert pin.estimate(2) == ticket.estimate
+
+    def test_pin_epoch_without_store_raises(self):
+        with BatchCoordinator(CPLDS(4), max_delay=0.005) as co:
+            assert co.epoch_store is None
+            with pytest.raises(ValueError):
+                co.pin_epoch()
+
+
+class TestSupervisorReadTier:
+    def test_degraded_reads_serve_newest_epoch(self):
+        service = SupervisedCPLDS(CPLDS(8))
+        service.apply_batch(insertions=EDGES)
+        healthy = [service.read(v) for v in range(8)]
+        service._set_health(HealthState.RECOVERING)
+        for v in range(8):
+            tagged = service.read_tagged(v)
+            assert tagged.stale
+            assert tagged.estimate == healthy[v]
+            assert tagged.batch == service.epoch_store.latest_epoch
+
+    def test_recovery_reseeds_and_keeps_publishing(self):
+        service = SupervisedCPLDS(CPLDS(8), backoff_base=0.0)
+        hooks = ChaosHooks()
+
+        def attach(impl):
+            impl.plds.hooks = HookChain(impl.plds.hooks, hooks)
+
+        attach(service.impl)
+        service.post_restore = attach
+        service.apply_batch(insertions=EDGES[:4])
+        pin = service.pin_epoch()
+        before = pin.coreness_many(range(8)).tolist()
+        hooks.arm_crash(0, times=1)  # next batch fails once, then retries
+        outcome = service.apply_batch(insertions=EDGES[4:])
+        assert outcome.fully_applied
+        assert service.health is HealthState.HEALTHY
+        # The pre-crash pin survived recovery bit-identically, and the
+        # retried batch published a fresh epoch into the same store.
+        assert pin.coreness_many(range(8)).tolist() == before
+        assert service.epoch_store.latest_epoch == service.impl.batch_number
+        assert service.impl.epoch_store is service.epoch_store
+
+    def test_reopen_after_crash_reseeds_store(self, tmp_path):
+        service = SupervisedCPLDS(CPLDS(8), journal_dir=tmp_path)
+        service.apply_batch(insertions=EDGES)
+        expected = [service.read(v) for v in range(8)]
+        service._journal.close()  # simulated process death
+        reopened, report = SupervisedCPLDS.open(tmp_path)
+        try:
+            store = reopened.epoch_store
+            assert store.latest_epoch == reopened.impl.batch_number
+            with reopened.pin_epoch() as pin:
+                assert pin.coreness_many(range(8)).tolist() == expected
+            reopened._set_health(HealthState.RECOVERING)
+            assert reopened.read_tagged(0).estimate == expected[0]
+        finally:
+            reopened.close()

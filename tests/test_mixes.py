@@ -6,10 +6,13 @@ from repro.core import CPLDS
 from repro.errors import WorkloadError
 from repro.graph import generators as gen
 from repro.workloads.mixes import (
+    BulkReadOp,
     MixedBatch,
     MixedStreamGenerator,
+    ReadHeavyMixGenerator,
     preprocess_mixed_batch,
 )
+from repro.workloads.runner import run_read_heavy
 
 
 class TestPreprocess:
@@ -85,3 +88,59 @@ class TestMixedStream:
         a = list(MixedStreamGenerator(edges, 7, window=2, seed=5))
         b = list(MixedStreamGenerator(edges, 7, window=2, seed=5))
         assert a == b
+
+
+class TestReadHeavyMix:
+    def _mix(self, **kw):
+        edges = gen.erdos_renyi(30, 120, seed=4)
+        defaults = dict(
+            reads_per_batch=5, read_block=8, window=2, seed=4
+        )
+        defaults.update(kw)
+        return ReadHeavyMixGenerator(edges, 30, batch_size=25, **defaults)
+
+    def test_schedule_shape(self):
+        items = list(self._mix())
+        updates = [b for kind, b in items if kind == "update"]
+        reads = [op for kind, op in items if kind == "read"]
+        assert updates and reads
+        assert len(reads) == 5 * len(updates)
+        assert all(isinstance(op, BulkReadOp) for op in reads)
+        # Blocks are contiguous, in range, and of the configured size.
+        for op in reads:
+            assert len(op) == 8
+            assert list(op.vertices) == list(
+                range(op.vertices[0], op.vertices[0] + 8)
+            )
+            assert 0 <= op.vertices[0] and op.vertices[-1] < 30
+
+    def test_deterministic_in_seed(self):
+        assert list(self._mix()) == list(self._mix())
+        assert list(self._mix(seed=9)) != list(self._mix(seed=4))
+
+    def test_read_block_clamped_to_universe(self):
+        mix = self._mix(read_block=500)
+        reads = [op for kind, op in mix if kind == "read"]
+        assert all(len(op) == 30 for op in reads)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            ReadHeavyMixGenerator([], 0, batch_size=1)
+        with pytest.raises(WorkloadError):
+            ReadHeavyMixGenerator([], 10, batch_size=1, reads_per_batch=-1)
+        with pytest.raises(WorkloadError):
+            ReadHeavyMixGenerator([], 10, batch_size=1, read_block=0)
+
+    def test_run_read_heavy_drives_epoch_tier(self):
+        result = run_read_heavy(self._mix(), backend="columnar")
+        assert result.insertions == result.deletions == 120
+        assert result.bulk_reads == result.vertices_read // 8 > 0
+        # Reads ride the epoch tier: every pin served a published epoch,
+        # monotonically non-decreasing along the schedule.
+        assert result.store.published_total > 0
+        assert list(result.epochs_read) == sorted(result.epochs_read)
+        assert result.engine.graph.num_edges == 0
+
+    def test_run_read_heavy_rejects_engines_without_epoch_seam(self):
+        with pytest.raises(TypeError):
+            run_read_heavy(self._mix(), engine="nonsync")

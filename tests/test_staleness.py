@@ -12,6 +12,8 @@ set is a pure function of the update stream.
 import math
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as hyp_st
 
 from repro import engines, obs
 from repro.core.cplds import CPLDS
@@ -260,3 +262,82 @@ def test_degraded_reads_account_snapshot_age(tmp_path, live_obs):
     assert gauges.get("service_stale_read_age_epochs_max") == 2
     service._set_health(HealthState.HEALTHY)
     service.close()
+
+
+# ---------------------------------------------------------------------------
+# Property-based coverage of the histogram readouts
+# ---------------------------------------------------------------------------
+
+_BOUNDS = hyp_st.lists(
+    hyp_st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=8,
+    unique=True,
+).map(sorted)
+
+_VALUES = hyp_st.lists(
+    hyp_st.floats(
+        min_value=0.0, max_value=2e6, allow_nan=False, allow_infinity=False
+    ),
+    max_size=60,
+)
+
+
+class TestHistogramReadoutProperties:
+    """Prometheus-flavour quantile/max readouts, pinned down by property."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(bounds=_BOUNDS, values=_VALUES, q=hyp_st.floats(0.0, 1.0))
+    def test_quantile_is_nan_bound_or_inf(self, bounds, values, q):
+        h = _hist(values, bounds=tuple(bounds))
+        got = SL.histogram_quantile(h, q)
+        if not values:
+            assert math.isnan(got)
+        else:
+            assert got in set(bounds) or got == float("inf")
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        bounds=_BOUNDS,
+        values=_VALUES,
+        q1=hyp_st.floats(0.0, 1.0),
+        q2=hyp_st.floats(0.0, 1.0),
+    )
+    def test_quantile_monotone_in_q(self, bounds, values, q1, q2):
+        assume(values)
+        if q2 < q1:
+            q1, q2 = q2, q1
+        h = _hist(values, bounds=tuple(bounds))
+        assert SL.histogram_quantile(h, q1) <= SL.histogram_quantile(h, q2)
+
+    @settings(max_examples=120, deadline=None)
+    @given(bounds=_BOUNDS, values=_VALUES)
+    def test_max_bound_dominates_every_observation(self, bounds, values):
+        h = _hist(values, bounds=tuple(bounds))
+        got = SL.histogram_max_bound(h)
+        if not values:
+            assert math.isnan(got)
+        elif max(values) > max(bounds):
+            assert got == float("inf")
+        else:
+            assert got in set(bounds)
+            assert all(v <= got for v in values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bound=hyp_st.floats(0.0, 1e6, allow_nan=False), values=_VALUES, q=hyp_st.floats(0.0, 1.0))
+    def test_single_bucket_yields_its_bound_or_inf(self, bound, values, q):
+        assume(values)
+        h = _hist(values, bounds=(bound,))
+        got = SL.histogram_quantile(h, q)
+        if all(v <= bound for v in values) or q == 0.0:
+            assert got == bound
+        else:
+            assert got in (bound, float("inf"))
+
+    def test_all_in_overflow(self):
+        h = _hist([10.0, 20.0], bounds=(1.0,))
+        assert SL.histogram_quantile(h, 0.5) == float("inf")
+        assert SL.histogram_max_bound(h) == float("inf")
+        # A zero quantile asks for rank 0, which every cumulative bucket
+        # satisfies — the smallest bound, even with all mass in overflow.
+        assert SL.histogram_quantile(h, 0.0) == 1.0
