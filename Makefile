@@ -9,7 +9,7 @@ BENCH_ARTIFACT ?= BENCH_pr9.json
 # Every target runs against the in-tree sources, no install required.
 export PYTHONPATH = src
 
-.PHONY: install test lint chaos bench bench-full bench-json bench-baseline bench-gate reproduce reproduce-full examples clean
+.PHONY: install test lint chaos scenarios scenarios-smoke bench bench-full bench-json bench-baseline bench-gate reproduce reproduce-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,11 +22,21 @@ lint:
 	$(PYTHON) -m compileall -q src
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks examples; \
 	else echo "ruff not installed; skipped (CI runs it)"; fi
-	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/obs src/repro/engines; \
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/obs src/repro/engines src/repro/reads src/repro/workloads/scenarios; \
 	else echo "mypy not installed; skipped (CI runs it)"; fi
 
 chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py -m chaos -q
+
+# Full scenario catalog on every store backend (what nightly CI runs).
+scenarios:
+	$(PYTHON) -m repro.workloads.scenarios --catalog --backend all --strict --table -
+
+# The fast CI subset: 3 specs, truncated, every backend, strict gating.
+scenarios-smoke:
+	$(PYTHON) -m repro.workloads.scenarios --catalog \
+		--only fig5-batch-updates,staleness-slo,bipartite-churn \
+		--backend all --smoke --strict --table -
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

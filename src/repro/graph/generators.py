@@ -263,6 +263,44 @@ def community_overlay(
     return _dedup(edges)
 
 
+def bipartite(
+    n_left: int,
+    n_right: int,
+    target_edges: int,
+    seed: int | None = 0,
+) -> list[Edge]:
+    """Random bipartite graph: ``target_edges`` distinct left↔right edges.
+
+    Vertices ``0..n_left-1`` form the left side, ``n_left..n_left+n_right-1``
+    the right; no within-side edges exist, so the coreness structure is
+    driven purely by the degree imbalance (the user/item shape of
+    recommendation workloads).  Sampled in vectorised rejection rounds like
+    :func:`erdos_renyi`.
+    """
+    if n_left < 1 or n_right < 1:
+        return []
+    max_edges = n_left * n_right
+    m = min(target_edges, max_edges)
+    if m <= 0:
+        return []
+    rng = _rng(seed)
+    seen: set[Edge] = set()
+    out: list[Edge] = []
+    while len(out) < m:
+        need = m - len(out)
+        us = rng.integers(0, n_left, size=2 * need + 8)
+        vs = rng.integers(n_left, n_left + n_right, size=2 * need + 8)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            e = canonical_edge(u, v)
+            if e in seen:
+                continue
+            seen.add(e)
+            out.append(e)
+            if len(out) == m:
+                break
+    return out
+
+
 def stochastic_block_model(
     block_sizes: list[int],
     p_in: float,

@@ -1,0 +1,185 @@
+"""Deterministic JSONL reports and cross-backend comparison tables.
+
+One report row per (scenario, backend) run, serialized with sorted keys
+and compact separators so that two runs of the same spec and seed produce
+**byte-identical** lines — the property CI leans on.  The comparison
+table groups rows by scenario across backends and flags two things:
+
+* **work-counter divergence** — the deterministic work counters
+  (rounds, moves, marked, DAGs) are a pure function of the update stream
+  and must be bit-identical across level-store backends (the
+  differential-test contract); any difference is a correctness signal,
+  not noise;
+* **SLO failures** — any scenario/backend whose declarative staleness or
+  recovery targets came back FAIL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.workloads.scenarios.runner import ScenarioRunResult
+
+__all__ = [
+    "load_rows",
+    "render_table",
+    "report_lines",
+    "slo_failures",
+    "summary_line",
+    "work_divergences",
+    "write_jsonl",
+]
+
+
+def report_lines(
+    results: Sequence[ScenarioRunResult], *, include_timing: bool = False
+) -> List[str]:
+    """One canonical JSON line per run (sorted keys, compact separators)."""
+    return [
+        json.dumps(
+            r.as_row(include_timing=include_timing),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for r in results
+    ]
+
+
+def write_jsonl(
+    results: Sequence[ScenarioRunResult], path: str,
+    *, include_timing: bool = False,
+) -> None:
+    """Write the report rows to ``path``, one line each."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        for line in report_lines(results, include_timing=include_timing):
+            fh.write(line + "\n")
+
+
+def _by_scenario(
+    results: Sequence[ScenarioRunResult],
+) -> Dict[str, List[ScenarioRunResult]]:
+    grouped: Dict[str, List[ScenarioRunResult]] = {}
+    for r in results:
+        grouped.setdefault(r.spec.name, []).append(r)
+    return grouped
+
+
+def work_divergences(
+    results: Sequence[ScenarioRunResult],
+) -> Dict[str, List[str]]:
+    """Scenarios whose work counters differ across backends.
+
+    Returns ``{scenario: [counter, ...]}`` for every scenario where at
+    least two backends disagree on a deterministic work counter; empty
+    means the differential contract held everywhere.
+    """
+    out: Dict[str, List[str]] = {}
+    for name, rows in _by_scenario(results).items():
+        if len(rows) < 2:
+            continue
+        baseline = rows[0].work
+        diverged = sorted({
+            counter
+            for row in rows[1:]
+            for counter in baseline
+            if row.work.get(counter) != baseline[counter]
+        })
+        if diverged:
+            out[name] = diverged
+    return out
+
+
+def slo_failures(
+    results: Sequence[ScenarioRunResult],
+) -> List[str]:
+    """``"scenario[backend]"`` labels of every run with a FAIL verdict."""
+    return [
+        f"{r.spec.name}[{r.backend}]"
+        for r in results
+        if r.slo.get("status") == "FAIL"
+    ]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_table(results: Sequence[ScenarioRunResult]) -> str:
+    """Human-readable cross-backend / cross-scenario comparison table."""
+    divergences = work_divergences(results)
+    header = (
+        "scenario", "backend", "mode", "updates", "ins", "dels",
+        "reads", "moves", "rounds", "slo", "approx-max", "faults", "ok",
+    )
+    rows: List[Sequence[str]] = [header]
+    for name, group in sorted(_by_scenario(results).items()):
+        for r in group:
+            approx = r.approx["max_factor"] if r.approx else None
+            fault = (
+                f"{r.faults['recoveries']}rec/"
+                f"{r.faults['quarantined']}quar"
+                if r.faults else None
+            )
+            rows.append((
+                name,
+                r.backend,
+                "smoke" if r.smoke else "full",
+                _fmt(r.update_steps),
+                _fmt(r.insertions_applied),
+                _fmt(r.deletions_applied),
+                _fmt(r.live_reads + r.epoch_blocks),
+                _fmt(r.work.get("plds_moves_total")),
+                _fmt(r.work.get("plds_rounds_total")),
+                r.slo.get("status", "-"),
+                _fmt(approx),
+                _fmt(fault),
+                _fmt(r.ok),
+            ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    for name, counters in sorted(divergences.items()):
+        lines.append(
+            f"!! work-counter divergence in {name}: {', '.join(counters)}"
+        )
+    return "\n".join(lines)
+
+
+def load_rows(path: str) -> List[Mapping[str, Any]]:
+    """Read a report file back into plain dict rows (for tooling/tests)."""
+    out: List[Mapping[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def summary_line(results: Iterable[ScenarioRunResult]) -> str:
+    """One-line sweep summary for CLI output and CI logs."""
+    rows = list(results)
+    failures = [r for r in rows if not r.ok]
+    slo_fail = slo_failures(rows)
+    diverged = work_divergences(rows)
+    return (
+        f"scenarios: {len(rows)} runs, "
+        f"{len({r.spec.name for r in rows})} scenarios, "
+        f"{len({r.backend for r in rows})} backends, "
+        f"{len(slo_fail)} SLO failures, "
+        f"{len(diverged)} work divergences, "
+        f"{len(failures)} hard failures"
+    )

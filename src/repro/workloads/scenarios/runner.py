@@ -1,0 +1,452 @@
+"""Execute a scenario spec end-to-end against any registered backend.
+
+One call — :func:`run_scenario` — takes a validated
+:class:`~repro.workloads.scenarios.spec.ScenarioSpec`, renders its step
+schedule (:mod:`repro.workloads.scenarios.traffic`), builds the engine
+through :mod:`repro.engines` (wrapped in a journaled
+:class:`~repro.runtime.supervisor.SupervisedCPLDS` when the spec declares
+a fault schedule), drives every step, and scores the run:
+
+* the deterministic **work counters** the CI bench-gate compares
+  (:data:`repro.harness.bench_json.WORK_COUNTERS`);
+* **staleness accounting and SLO verdicts** from
+  :mod:`repro.obs.staleness` (live vs descriptor sandwich reads,
+  epoch-pin staleness, the spec's declarative targets);
+* **approximation quality** against the exact peeling decomposition
+  (:mod:`repro.exact`) when the spec asks for it;
+* **fault outcomes** — recoveries, quarantined updates, restarts, final
+  health, and an oracle-equivalence verdict in the style of
+  :mod:`repro.runtime.chaos`.
+
+The result's :meth:`ScenarioRunResult.as_row` is a plain JSON-ready dict
+containing only deterministic quantities — two runs of the same spec,
+seed and backend produce byte-identical rows, which is what lets CI diff
+reports across backends and across time.  Wall-clock latency percentiles
+are opt-in (``timing=True``) and land in a separate ``timing`` section
+that deterministic comparisons must exclude.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import engines, obs
+from repro.obs import staleness as SL
+from repro.reads import EpochSnapshotStore
+from repro.types import Edge
+from repro.workloads.mixes import MixedBatch
+from repro.workloads.scenarios.spec import ScenarioSpec
+from repro.workloads.scenarios.traffic import (
+    ReadBurst,
+    Step,
+    build_schedule,
+    truncate_for_smoke,
+)
+
+__all__ = ["ScenarioRunResult", "run_scenario"]
+
+
+def _round(value: float, digits: int = 9) -> float:
+    return round(float(value), digits)
+
+
+def _finite(value: Optional[float]) -> Optional[float]:
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+@dataclass
+class ScenarioRunResult:
+    """Everything one scenario execution produced, scored and JSON-ready."""
+
+    spec: ScenarioSpec
+    backend: str
+    smoke: bool
+    update_steps: int = 0
+    insertions_applied: int = 0
+    deletions_applied: int = 0
+    live_reads: int = 0
+    epoch_blocks: int = 0
+    vertices_read: int = 0
+    pins_force_advanced: int = 0
+    epochs_published: int = 0
+    work: Dict[str, float] = field(default_factory=dict)
+    staleness: Dict[str, Any] = field(default_factory=dict)
+    slo: Dict[str, Any] = field(default_factory=dict)
+    approx: Optional[Dict[str, Any]] = None
+    faults: Optional[Dict[str, Any]] = None
+    timing: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the run produced a hard failure.
+
+        SLO FAILs and fault-path divergence (oracle mismatch, FAILED
+        health) are hard; WARN/NODATA are not.
+        """
+        if self.slo.get("status") == "FAIL":
+            return False
+        if self.faults is not None and not self.faults["oracle_match"]:
+            return False
+        if self.faults is not None and self.faults["final_health"] == "FAILED":
+            return False
+        return True
+
+    def as_row(self, *, include_timing: bool = False) -> Dict[str, Any]:
+        """The deterministic JSONL report row for this run."""
+        row: Dict[str, Any] = {
+            "schema": 1,
+            "scenario": self.spec.name,
+            "backend": self.backend,
+            "engine": self.spec.engine,
+            "mode": "smoke" if self.smoke else "full",
+            "seed": self.spec.seed,
+            "graph": {
+                "shape": self.spec.graph.shape,
+                "num_vertices": self.spec.graph.num_vertices,
+            },
+            "traffic": {
+                "pattern": self.spec.traffic.pattern,
+                "update_steps": self.update_steps,
+                "insertions_applied": self.insertions_applied,
+                "deletions_applied": self.deletions_applied,
+            },
+            "reads": {
+                "live_reads": self.live_reads,
+                "epoch_blocks": self.epoch_blocks,
+                "vertices_read": self.vertices_read,
+                "pins_force_advanced": self.pins_force_advanced,
+                "epochs_published": self.epochs_published,
+            },
+            "work": dict(self.work),
+            "staleness": dict(self.staleness),
+            "slo": self.slo,
+            "approx": self.approx,
+            "faults": self.faults,
+            "ok": self.ok,
+        }
+        if include_timing and self.timing is not None:
+            row["timing"] = self.timing
+        return row
+
+
+def _apply_update(impl: Any, batch: MixedBatch) -> Tuple[int, int]:
+    """Apply one mixed batch through whichever surface the engine has."""
+    if hasattr(impl, "apply_batch"):
+        result = impl.apply_batch(
+            insertions=batch.insertions, deletions=batch.deletions
+        )
+        if hasattr(result, "applied"):  # a supervisor BatchOutcome
+            ins = sum(len(rec.insertions) for rec in result.applied)
+            dels = sum(len(rec.deletions) for rec in result.applied)
+            return ins, dels
+        return int(result[0]), int(result[1])
+    ins = impl.insert_batch(batch.insertions) if batch.insertions else 0
+    dels = impl.delete_batch(batch.deletions) if batch.deletions else 0
+    return ins, dels
+
+
+def _score_approximation(impl: Any, num_vertices: int) -> Dict[str, Any]:
+    """Estimate-vs-exact error statistics on the final graph."""
+    from repro.exact import core_decomposition
+    from repro.lds.coreness import approximation_factor, lemma_3_2_bounds
+
+    exact = core_decomposition(impl.graph)
+    factors: List[float] = []
+    within = 0
+    scored = 0
+    params = impl.params
+    for v in range(num_vertices):
+        k = int(exact[v])
+        if k <= 0:
+            continue
+        estimate = float(impl.read(v))
+        factors.append(approximation_factor(estimate, k))
+        lo, hi = lemma_3_2_bounds(params, k)
+        scored += 1
+        if lo <= estimate <= hi:
+            within += 1
+    return {
+        "vertices_scored": scored,
+        "max_factor": _round(max(factors)) if factors else None,
+        "mean_factor": _round(statistics.fmean(factors)) if factors else None,
+        "within_lemma_bound_fraction": (
+            _round(within / scored) if scored else None
+        ),
+    }
+
+
+def _staleness_section(observations: Dict[str, float]) -> Dict[str, Any]:
+    reg = obs.REGISTRY
+    return {
+        "reads_live": reg.counter_value("cplds_reads_live_total"),
+        "reads_descriptor": reg.counter_value("cplds_reads_descriptor_total"),
+        "staleness_epochs_p99": _finite(
+            observations.get("staleness_epochs_p99")
+        ),
+        "staleness_epochs_max": _finite(
+            observations.get("staleness_epochs_max")
+        ),
+        "epoch_read_staleness_max": _finite(
+            observations.get("epoch_read_staleness_max")
+        ),
+    }
+
+
+def _run_plain(
+    spec: ScenarioSpec, backend: str, schedule: List[Step],
+    result: ScenarioRunResult, timings: Optional[List[float]],
+) -> Any:
+    """Drive the schedule against a bare registry-built engine."""
+    n = spec.graph.num_vertices
+    store: Optional[EpochSnapshotStore] = None
+    kwargs: Dict[str, Any] = {}
+    if spec.uses_epoch_reads:
+        store = EpochSnapshotStore(
+            window=spec.reads.epoch_window,
+            max_staleness=spec.reads.max_staleness or None,
+        )
+        kwargs["epoch_store"] = store
+    impl = engines.create(spec.engine, n, backend=backend, **kwargs)
+    for kind, item in schedule:
+        if kind == "update":
+            assert isinstance(item, MixedBatch)
+            ins, dels = _apply_update(impl, item)
+            result.update_steps += 1
+            result.insertions_applied += ins
+            result.deletions_applied += dels
+        else:
+            assert isinstance(item, ReadBurst)
+            _run_burst(impl, store, item, result, timings)
+    if store is not None:
+        newest = store.newest()
+        result.epochs_published = newest.epoch if newest is not None else 0
+    return impl
+
+
+def _run_burst(
+    impl: Any, store: Optional[EpochSnapshotStore], burst: ReadBurst,
+    result: ScenarioRunResult, timings: Optional[List[float]],
+) -> None:
+    """One read burst: pinned bulk blocks, then live sandwich reads."""
+    for block in burst.epoch_blocks:
+        if store is None:
+            continue
+        t0 = time.perf_counter() if timings is not None else 0.0
+        with store.pin() as pin:
+            pin.coreness_many(block)
+            result.pins_force_advanced += pin.advanced
+        if timings is not None:
+            timings.append(time.perf_counter() - t0)
+        result.epoch_blocks += 1
+        result.vertices_read += len(block)
+    for v in burst.live_vertices:
+        t0 = time.perf_counter() if timings is not None else 0.0
+        impl.read(v)
+        if timings is not None:
+            timings.append(time.perf_counter() - t0)
+        result.live_reads += 1
+        result.vertices_read += 1
+
+
+def _run_supervised(
+    spec: ScenarioSpec, backend: str, schedule: List[Step],
+    result: ScenarioRunResult, timings: Optional[List[float]],
+) -> Any:
+    """Drive the schedule under supervision with the declared faults.
+
+    Reuses the chaos harness's fault injector and its oracle discipline:
+    every sub-batch the service reports committed is recorded (trimmed to
+    the recovered prefix after each simulated restart), and the final
+    structure must match a fresh replay of that history exactly.
+    """
+    from repro.core.cplds import CPLDS
+    from repro.runtime.chaos import ChaosHooks
+    from repro.runtime.inject import HookChain
+    from repro.runtime.supervisor import SupervisedCPLDS
+
+    assert spec.faults is not None
+    faults = spec.faults
+    n = spec.graph.num_vertices
+    by_batch: Dict[int, List[Any]] = {}
+    for event in faults.events:
+        by_batch.setdefault(event.at_batch, []).append(event)
+
+    hooks = ChaosHooks()
+
+    def attach(impl: CPLDS) -> None:
+        impl.plds.hooks = HookChain(impl.plds.hooks, hooks)
+
+    with tempfile.TemporaryDirectory(prefix=f"scenario-{spec.name}-") as tmp:
+        journal_dir = os.path.join(tmp, "journal")
+        service = SupervisedCPLDS(
+            engines.create(spec.engine, n, backend=backend),
+            journal_dir=journal_dir,
+            checkpoint_every=faults.checkpoint_every,
+            keep_checkpoints=2,
+            max_retries=faults.max_retries,
+            backoff_base=0.0,
+            epoch_window=spec.reads.epoch_window,
+            epoch_max_staleness=spec.reads.max_staleness or None,
+        )
+        attach(service.impl)
+        service.post_restore = attach
+
+        history: List[Any] = []
+        quarantined = 0
+        restarts = 0
+        batch_index = 0
+        for kind, item in schedule:
+            if kind == "read":
+                assert isinstance(item, ReadBurst)
+                _run_burst(
+                    service, service.epoch_store, item, result, timings
+                )
+                continue
+            assert isinstance(item, MixedBatch)
+            restart_here = False
+            for event in by_batch.get(batch_index, ()):
+                if event.kind == "crash":
+                    hooks.arm_crash(event.after_moves, event.times)
+                elif event.kind == "poison" and item.insertions:
+                    hooks.poison = {item.insertions[0]}
+                elif event.kind == "restart":
+                    restart_here = True
+            outcome = service.apply_batch(
+                insertions=item.insertions, deletions=item.deletions
+            )
+            hooks.clear()
+            result.update_steps += 1
+            quarantined += len(outcome.dropped)
+            history.extend(outcome.applied)
+            for rec in outcome.applied:
+                result.insertions_applied += len(rec.insertions)
+                result.deletions_applied += len(rec.deletions)
+            if restart_here:
+                restarts += 1
+                service._journal.close()
+                service, report = SupervisedCPLDS.open(
+                    journal_dir,
+                    checkpoint_every=faults.checkpoint_every,
+                    keep_checkpoints=2,
+                    max_retries=faults.max_retries,
+                    backoff_base=0.0,
+                    epoch_window=spec.reads.epoch_window,
+                    epoch_max_staleness=spec.reads.max_staleness or None,
+                )
+                attach(service.impl)
+                service.post_restore = attach
+                history = [
+                    r for r in history if r.seq <= report.recovered_through
+                ]
+                result.insertions_applied = sum(
+                    len(r.insertions) for r in history
+                )
+                result.deletions_applied = sum(
+                    len(r.deletions) for r in history
+                )
+            batch_index += 1
+
+        # Oracle-equivalence verdict (the chaos harness's discipline).
+        oracle = engines.create(
+            spec.engine, n, params=service.impl.params, backend=backend
+        )
+        for rec in history:
+            oracle.apply_batch(rec.insertions, rec.deletions)
+        mismatches = sum(
+            1 for v in range(n) if service.read(v) != oracle.read(v)
+        )
+        live_edges: set[Edge] = set()
+        for rec in history:
+            live_edges.update(rec.insertions)
+            live_edges.difference_update(rec.deletions)
+        edges_ok = (
+            set(map(tuple, service.impl.graph.edges())) == live_edges
+        )
+        newest = service.epoch_store.newest()
+        result.epochs_published = newest.epoch if newest is not None else 0
+        result.faults = {
+            "events": len(faults.events),
+            "recoveries": service.telemetry.recoveries,
+            "quarantined": quarantined,
+            "restarts": restarts,
+            "final_health": service.health.name,
+            "oracle_mismatches": mismatches,
+            "edges_match": edges_ok,
+            "oracle_match": mismatches == 0 and edges_ok,
+        }
+        impl = service.impl
+        service.close()
+    return impl
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    backend: str = "object",
+    smoke: bool = False,
+    timing: bool = False,
+) -> ScenarioRunResult:
+    """Execute ``spec`` on ``backend`` and score the run.
+
+    ``smoke`` truncates the schedule to the spec's ``smoke_batches``
+    update steps (the CI fast path); ``timing`` additionally records
+    wall-clock read latencies into the (non-deterministic) ``timing``
+    section.  Observability is force-enabled for the run's duration with
+    a registry reset on both sides, so the scored counters cover exactly
+    this run and the process-wide registry is left clean.
+    """
+    from repro.harness.bench_json import WORK_COUNTERS
+
+    if backend not in engines.backends():
+        raise ValueError(
+            f"unknown backend {backend!r} "
+            f"(available: {', '.join(engines.backends())})"
+        )
+    schedule = build_schedule(spec)
+    if smoke:
+        schedule = truncate_for_smoke(schedule, spec.smoke_batches)
+    result = ScenarioRunResult(spec=spec, backend=backend, smoke=smoke)
+    timings: Optional[List[float]] = [] if timing else None
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        if spec.faults is not None:
+            impl = _run_supervised(spec, backend, schedule, result, timings)
+        else:
+            impl = _run_plain(spec, backend, schedule, result, timings)
+
+        result.work = {
+            name: obs.REGISTRY.counter_value(name) for name in WORK_COUNTERS
+        }
+        observations = SL.observations_from_registry()
+        if timings:
+            timings.sort()
+            p99 = timings[min(len(timings) - 1, int(0.99 * len(timings)))]
+            observations["read_latency_p99_s"] = p99
+            result.timing = {
+                "read_latency_p50_s": timings[len(timings) // 2],
+                "read_latency_p99_s": p99,
+                "read_latency_max_s": timings[-1],
+                "samples": len(timings),
+            }
+        result.staleness = _staleness_section(observations)
+        result.slo = SL.evaluate(spec.score.slos, observations).as_dict()
+        if spec.score.approximation:
+            result.approx = _score_approximation(
+                impl, spec.graph.num_vertices
+            )
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
+    return result

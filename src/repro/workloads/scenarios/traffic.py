@@ -1,0 +1,217 @@
+"""Turn a scenario spec into a deterministic step schedule.
+
+The schedule is the scenario's entire temporal structure rendered down to
+a flat list of steps — ``("update", MixedBatch)`` for arrivals/departures
+and ``("read", ReadBurst)`` for the post-batch read bursts — so the
+runner (and any future replay tooling) can execute it against any engine
+without re-deriving the pattern.  Everything is a pure function of the
+spec: same spec, same schedule, byte for byte.
+
+Patterns compose the existing workload building blocks:
+
+* ``sustained`` — constant-rate sliding-window churn, the
+  :class:`repro.workloads.mixes.MixedStreamGenerator` shape;
+* ``diurnal`` — the same churn with the arrival rate modulated by a sine
+  wave (day/night traffic);
+* ``flash-crowd`` — sustained churn plus a whole clique landing in one
+  declared batch (§6.3's unbounded-error scenario, from
+  :mod:`repro.workloads.adversarial`);
+* ``level-thrash`` — sustained churn overlaid with the
+  ``sandwich_adversary`` insert/delete clique cycle that maximises level
+  oscillation;
+* ``insert-delete`` — the paper's standard evaluation shape: stream the
+  edge pool in as insertion batches, then a fraction back out as
+  deletions (no churn window).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+from repro.types import Edge
+from repro.workloads.adversarial import clique_edges
+from repro.workloads.batches import BatchStream
+from repro.workloads.mixes import MixedBatch
+from repro.workloads.reads import UniformReadGenerator, ZipfReadGenerator
+from repro.workloads.scenarios.spec import ScenarioSpec
+
+__all__ = ["ReadBurst", "Step", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class ReadBurst:
+    """One post-batch read burst: epoch-pinned blocks plus live vertices."""
+
+    #: Contiguous vertex blocks, each bulk-read under one epoch pin.
+    epoch_blocks: Tuple[Tuple[int, ...], ...]
+    #: Individual vertices read through the live sandwich path.
+    live_vertices: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.epoch_blocks) + len(self.live_vertices)
+
+
+Step = Tuple[str, "MixedBatch | ReadBurst"]
+
+
+def _batch_sizes(spec: ScenarioSpec) -> List[int]:
+    """Per-batch arrival sizes for the churn-based patterns."""
+    traffic = spec.traffic
+    if traffic.pattern == "diurnal":
+        return [
+            max(1, round(traffic.batch_size * (
+                1.0 + traffic.amplitude
+                * math.sin(2.0 * math.pi * i / traffic.period)
+            )))
+            for i in range(traffic.batches)
+        ]
+    return [traffic.batch_size] * traffic.batches
+
+
+def _churn_batches(spec: ScenarioSpec, pool: List[Edge]) -> List[MixedBatch]:
+    """Sliding-window churn over the edge pool with per-batch sizes.
+
+    Departed edges return to the back of the pool, so long scenarios keep
+    churning the same universe instead of draining it — the live graph
+    size stays roughly stationary, like the paper's follow/unfollow
+    motivation.
+    """
+    available: Deque[Edge] = deque(pool)
+    window: Deque[Tuple[Edge, ...]] = deque()
+    out: List[MixedBatch] = []
+    for size in _batch_sizes(spec):
+        arriving = tuple(
+            available.popleft() for _ in range(min(size, len(available)))
+        )
+        departing: Tuple[Edge, ...] = ()
+        window.append(arriving)
+        if len(window) > spec.traffic.window:
+            departing = window.popleft()
+            available.extend(departing)
+        out.append(MixedBatch(insertions=arriving, deletions=departing))
+    return out
+
+
+def _overlay_flash_crowd(spec: ScenarioSpec, batches: List[MixedBatch]) -> None:
+    """Land a whole clique in the declared spike batch."""
+    traffic = spec.traffic
+    spike = traffic.spike_at if traffic.spike_at >= 0 else len(batches) // 2
+    spike = min(spike, len(batches) - 1)
+    crowd = tuple(clique_edges(traffic.clique_size))
+    batches[spike] = MixedBatch(
+        insertions=batches[spike].insertions + crowd,
+        deletions=batches[spike].deletions,
+    )
+
+
+def _overlay_level_thrash(spec: ScenarioSpec, batches: List[MixedBatch]) -> None:
+    """Cycle a clique through insert / delete-evens / delete-odds phases.
+
+    The ``sandwich_adversary`` oscillation: clique members repeatedly climb
+    and fall across group boundaries, stressing descriptor reuse and the
+    read sandwich.
+    """
+    clique = clique_edges(spec.traffic.clique_size)
+    evens = tuple(clique[::2])
+    odds = tuple(clique[1::2])
+    for i, batch in enumerate(batches):
+        phase = i % 3
+        if phase == 0:
+            batches[i] = MixedBatch(
+                insertions=batch.insertions + tuple(clique),
+                deletions=batch.deletions,
+            )
+        elif phase == 1:
+            batches[i] = MixedBatch(
+                insertions=batch.insertions,
+                deletions=batch.deletions + evens,
+            )
+        else:
+            batches[i] = MixedBatch(
+                insertions=batch.insertions,
+                deletions=batch.deletions + odds,
+            )
+
+
+def _insert_delete_batches(
+    spec: ScenarioSpec, pool: List[Edge]
+) -> List[MixedBatch]:
+    """The paper's standard shape via :class:`BatchStream.insert_then_delete`."""
+    stream = BatchStream.insert_then_delete(
+        spec.name,
+        spec.graph.num_vertices,
+        pool,
+        spec.traffic.batch_size,
+        delete_fraction=spec.traffic.delete_fraction,
+        shuffle_seed=spec.seed,
+    )
+    out: List[MixedBatch] = []
+    for batch in stream.batches[: spec.traffic.batches]:
+        if batch.kind == "insert":
+            out.append(MixedBatch(insertions=batch.edges, deletions=()))
+        else:
+            out.append(MixedBatch(insertions=(), deletions=batch.edges))
+    return out
+
+
+def _read_burst(spec: ScenarioSpec, gen) -> ReadBurst:
+    """One deterministic burst drawn from the shared read generator."""
+    reads = spec.reads
+    n = spec.graph.num_vertices
+    epoch_count = round(reads.epoch_weight * reads.reads_per_batch)
+    live_count = reads.reads_per_batch - epoch_count
+    block = min(reads.block, n)
+    blocks = []
+    for _ in range(epoch_count):
+        lo = min(gen.next(), n - block)
+        blocks.append(tuple(range(lo, lo + block)))
+    live = tuple(gen.next() for _ in range(live_count))
+    return ReadBurst(epoch_blocks=tuple(blocks), live_vertices=live)
+
+
+def build_schedule(spec: ScenarioSpec) -> List[Step]:
+    """Render ``spec`` into its full update/read step schedule.
+
+    The edge pool comes from ``spec.graph`` and the shuffle/read draws
+    from ``spec.seed``; the result is deterministic and engine-agnostic.
+    """
+    pool = spec.graph.build(spec.seed)
+    if spec.traffic.pattern == "insert-delete":
+        batches = _insert_delete_batches(spec, pool)
+    else:
+        batches = _churn_batches(spec, pool)
+        if spec.traffic.pattern == "flash-crowd":
+            _overlay_flash_crowd(spec, batches)
+        elif spec.traffic.pattern == "level-thrash":
+            _overlay_level_thrash(spec, batches)
+
+    gen: UniformReadGenerator | ZipfReadGenerator | None = None
+    if spec.reads.reads_per_batch > 0:
+        n = spec.graph.num_vertices
+        if spec.reads.distribution == "zipf":
+            gen = ZipfReadGenerator(n, s=spec.reads.zipf_s, seed=spec.seed + 1)
+        else:
+            gen = UniformReadGenerator(n, seed=spec.seed + 1)
+
+    schedule: List[Step] = []
+    for batch in batches:
+        schedule.append(("update", batch))
+        if gen is not None:
+            schedule.append(("read", _read_burst(spec, gen)))
+    return schedule
+
+
+def truncate_for_smoke(schedule: List[Step], smoke_batches: int) -> List[Step]:
+    """The schedule prefix covering the first ``smoke_batches`` updates."""
+    out: List[Step] = []
+    updates = 0
+    for kind, item in schedule:
+        if kind == "update":
+            if updates >= smoke_batches:
+                break
+            updates += 1
+        out.append((kind, item))
+    return out

@@ -1,0 +1,191 @@
+"""A deliberately tiny YAML-subset parser for scenario specs.
+
+Scenario files may be JSON or this YAML subset — enough for readable,
+hand-edited specs without taking a dependency the container does not
+have.  Supported syntax:
+
+* block mappings (``key: value`` / ``key:`` + indented block);
+* block lists (``- item``, ``- key: value`` mapping items);
+* scalars: integers, floats, booleans (``true``/``false``), ``null``/``~``,
+  single- or double-quoted strings, and bare strings;
+* full-line and trailing ``#`` comments (outside quotes);
+* indentation in spaces (tabs are rejected loudly).
+
+Everything else — flow syntax (``{}``/``[]``), anchors, multi-line
+scalars, multiple documents — raises :class:`ParseError` naming the line,
+which is the point: a spec either parses the same way everywhere or it
+does not parse at all.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Tuple
+
+__all__ = ["ParseError", "parse"]
+
+
+class ParseError(ValueError):
+    """A spec file uses syntax outside the supported subset."""
+
+    def __init__(self, message: str, lineno: int) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_Line = Tuple[int, str, int]  # (indent, content, lineno)
+
+
+def _strip_comment(text: str, lineno: int) -> str:
+    """Drop a trailing ``#`` comment, respecting quoted strings."""
+    quote: str | None = None
+    for i, ch in enumerate(text):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or text[i - 1] in " \t"):
+            return text[:i].rstrip()
+    if quote is not None:
+        raise ParseError(f"unterminated {quote} quote", lineno)
+    return text.rstrip()
+
+
+def _lines(text: str) -> List[_Line]:
+    out: List[_Line] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw:
+            raise ParseError("tabs are not allowed; indent with spaces", lineno)
+        content = _strip_comment(raw, lineno)
+        if not content.strip():
+            continue
+        indent = len(content) - len(content.lstrip(" "))
+        out.append((indent, content.strip(), lineno))
+    return out
+
+
+def _scalar(token: str, lineno: int) -> Any:
+    if token in ("null", "~", ""):
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token and token[0] in "{[":
+        raise ParseError("flow syntax ({...}/[...]) is not supported", lineno)
+    if token.startswith('"'):
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError:
+            raise ParseError(f"bad double-quoted string {token}", lineno) from None
+    if token.startswith("'"):
+        if len(token) < 2 or not token.endswith("'"):
+            raise ParseError(f"bad single-quoted string {token}", lineno)
+        return token[1:-1].replace("''", "'")
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_key(content: str, lineno: int) -> Tuple[str, str] | None:
+    """Split ``key: value`` / ``key:``; ``None`` when there is no key."""
+    quote: str | None = None
+    for i, ch in enumerate(content):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == ":" and (i + 1 == len(content) or content[i + 1] == " "):
+            key = _scalar(content[:i].strip(), lineno)
+            if not isinstance(key, str):
+                raise ParseError(f"mapping keys must be strings, got {key!r}", lineno)
+            return key, content[i + 1 :].strip()
+    return None
+
+
+def _parse_block(lines: List[_Line], i: int, indent: int) -> Tuple[Any, int]:
+    """Parse one block (mapping or list) whose items sit at ``indent``."""
+    if lines[i][1].startswith("- ") or lines[i][1] == "-":
+        return _parse_list(lines, i, indent)
+    return _parse_mapping(lines, i, indent)
+
+
+def _parse_list(lines: List[_Line], i: int, indent: int) -> Tuple[list, int]:
+    items: list = []
+    while i < len(lines) and lines[i][0] == indent:
+        _, content, lineno = lines[i]
+        if not (content.startswith("- ") or content == "-"):
+            break
+        rest = content[1:].strip()
+        if not rest:
+            # Item body on the following deeper-indented lines.
+            if i + 1 >= len(lines) or lines[i + 1][0] <= indent:
+                items.append(None)
+                i += 1
+                continue
+            value, i = _parse_block(lines, i + 1, lines[i + 1][0])
+            items.append(value)
+            continue
+        if _split_key(rest, lineno) is not None:
+            # "- key: value" — re-anchor the remainder as a mapping whose
+            # first entry sits two columns past the dash; its continuation
+            # lines are the deeper-indented block that follows.
+            lines[i] = (indent + 2, rest, lineno)
+            value, i = _parse_mapping(lines, i, indent + 2)
+            items.append(value)
+            continue
+        items.append(_scalar(rest, lineno))
+        i += 1
+    return items, i
+
+
+def _parse_mapping(lines: List[_Line], i: int, indent: int) -> Tuple[dict, int]:
+    out: dict = {}
+    while i < len(lines) and lines[i][0] == indent:
+        _, content, lineno = lines[i]
+        if content.startswith("- ") or content == "-":
+            break
+        pair = _split_key(content, lineno)
+        if pair is None:
+            raise ParseError(f"expected 'key: value', got {content!r}", lineno)
+        key, rest = pair
+        if key in out:
+            raise ParseError(f"duplicate key {key!r}", lineno)
+        if rest:
+            out[key] = _scalar(rest, lineno)
+            i += 1
+            continue
+        # Nested block (or an explicitly empty value).
+        if i + 1 < len(lines) and lines[i + 1][0] > indent:
+            out[key], i = _parse_block(lines, i + 1, lines[i + 1][0])
+        else:
+            out[key] = None
+            i += 1
+    return out, i
+
+
+def parse(text: str) -> Any:
+    """Parse ``text`` into plain Python data (dict / list / scalars).
+
+    An empty document parses to ``None``; indentation inconsistencies and
+    unsupported syntax raise :class:`ParseError` with the line number.
+    """
+    lines = _lines(text)
+    if not lines:
+        return None
+    value, i = _parse_block(lines, 0, lines[0][0])
+    if i != len(lines):
+        raise ParseError(
+            f"unexpected content at indent {lines[i][0]} "
+            f"(outside the enclosing block)",
+            lines[i][2],
+        )
+    return value

@@ -2,6 +2,7 @@
 
 import importlib
 import inspect
+import pathlib
 import pkgutil
 
 import pytest
@@ -39,6 +40,23 @@ def test_public_classes_and_functions_documented(name):
             if not (attr.__doc__ and attr.__doc__.strip()):
                 undocumented.append(attr_name)
     assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+def test_no_orphaned_bytecode_directories():
+    """No source directory survives as a bytecode ghost.
+
+    A directory under ``src`` whose only contents are ``__pycache__``
+    is the fossil of a deleted package (stale ``.pyc`` files can even
+    keep the dead package importable).  Every directory that holds a
+    ``__pycache__`` must still hold at least one ``.py`` file.
+    """
+    src = pathlib.Path(repro.__file__).resolve().parent.parent
+    ghosts = [
+        str(cache.parent.relative_to(src))
+        for cache in src.rglob("__pycache__")
+        if not any(cache.parent.glob("*.py"))
+    ]
+    assert not ghosts, f"orphaned __pycache__ remnants (delete them): {ghosts}"
 
 
 def test_expected_package_layout():

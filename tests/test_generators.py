@@ -124,3 +124,26 @@ class TestSmallWorld:
 
     def test_rewired_still_valid(self):
         assert_valid_edges(gen.small_world(40, 6, rewire=0.3, seed=5), 40)
+
+
+class TestBipartite:
+    def test_edge_count_and_validity(self):
+        edges = gen.bipartite(40, 60, 300, seed=2)
+        assert len(edges) == 300
+        assert_valid_edges(edges, 100)
+
+    def test_no_within_side_edges(self):
+        n_left = 25
+        for u, v in gen.bipartite(n_left, 35, 200, seed=4):
+            assert u < n_left <= v, f"within-side edge ({u}, {v})"
+
+    def test_deterministic(self):
+        assert gen.bipartite(20, 30, 100, seed=9) == gen.bipartite(20, 30, 100, seed=9)
+
+    def test_caps_at_complete_bipartite(self):
+        edges = gen.bipartite(4, 5, 10_000, seed=1)
+        assert len(edges) == 20
+
+    def test_empty_side(self):
+        assert gen.bipartite(0, 10, 50, seed=1) == []
+        assert gen.bipartite(10, 0, 50, seed=1) == []
